@@ -1,0 +1,61 @@
+//! One Criterion bench per quantified ablation (E6–E14). Simulation-backed
+//! experiments use short windows of the 1/10-scale world so `cargo bench`
+//! stays tractable; the analytic experiments run at full fidelity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greener_core::ablations::*;
+use greener_core::scenario::Scenario;
+use std::hint::black_box;
+
+fn small(days: usize) -> Scenario {
+    let mut s = Scenario::two_year_small(greener_bench::seeds::WORLD);
+    s.horizon_hours = days * 24;
+    s
+}
+
+fn bench_sim_backed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim-backed");
+    g.sample_size(10);
+    g.bench_function("e6_purchasing_30d", |b| {
+        let s = small(30);
+        b.iter(|| black_box(e6_purchasing(&s)))
+    });
+    g.bench_function("e7_powercaps_14d_x3", |b| {
+        let s = small(14);
+        b.iter(|| black_box(e7_powercaps(&s, &[125.0, 175.0, 250.0])))
+    });
+    g.bench_function("e10_stress_14d", |b| {
+        let mut s = small(14);
+        s.start = greener_simkit::calendar::CalDate::new(2020, 7, 1);
+        b.iter(|| black_box(e10_stress(&s)))
+    });
+    g.bench_function("e11_forecast_45d", |b| {
+        let s = small(45);
+        b.iter(|| black_box(e11_forecast(&s)))
+    });
+    g.bench_function("e12_restructure_60d", |b| {
+        let s = small(60);
+        b.iter(|| black_box(e12_restructure(&s)))
+    });
+    g.finish();
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    c.bench_function("e8_two_part_mechanism", |b| {
+        b.iter(|| black_box(e8_mechanism(greener_bench::seeds::MECHANISM)))
+    });
+    c.bench_function("e9_adverse_selection", |b| {
+        b.iter(|| black_box(e9_adverse_selection(greener_bench::seeds::MECHANISM)))
+    });
+    c.bench_function("e13_inference_fleet", |b| {
+        b.iter(|| black_box(e13_inference(512, 64)))
+    });
+    c.bench_function("e14_variance", |b| b.iter(|| black_box(e14_variance(1.0e6))));
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default();
+    targets = bench_sim_backed, bench_analytic
+}
+criterion_main!(ablations);

@@ -1,0 +1,37 @@
+//! One Criterion bench per paper figure/table: each measures the cost of
+//! regenerating the artifact from a pre-simulated run (the simulation
+//! itself is benched separately in `engine.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greener_core::driver::{RunResult, SimDriver};
+use greener_core::experiments::{fig1, fig2, fig3, fig4, fig5, table1};
+use greener_core::scenario::Scenario;
+use greener_workload::ConferenceCalendar;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn shared_run() -> &'static RunResult {
+    static RUN: OnceLock<RunResult> = OnceLock::new();
+    RUN.get_or_init(|| SimDriver::run(&Scenario::two_year_small(greener_bench::seeds::WORLD)))
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let run = shared_run();
+    let calendar = ConferenceCalendar::table_i();
+
+    c.bench_function("fig1_trends", |b| b.iter(|| black_box(fig1())));
+    c.bench_function("fig2_power_mix", |b| b.iter(|| black_box(fig2(run))));
+    c.bench_function("fig3_price_mix", |b| b.iter(|| black_box(fig3(run))));
+    c.bench_function("fig4_power_temp", |b| b.iter(|| black_box(fig4(run))));
+    c.bench_function("fig5_deadlines", |b| {
+        b.iter(|| black_box(fig5(run, &calendar)))
+    });
+    c.bench_function("table1_conferences", |b| b.iter(|| black_box(table1())));
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(20);
+    targets = bench_figures
+}
+criterion_main!(figures);

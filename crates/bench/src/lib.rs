@@ -1,0 +1,19 @@
+//! # greener-bench
+//!
+//! Benchmarks and the `repro` binary for the `greener` workspace.
+//!
+//! * `cargo run --release -p greener-bench --bin repro` regenerates every
+//!   figure and table of the paper (F1–F5, T1) and every quantified
+//!   ablation (E6–E14), printing the same rows/series the paper reports.
+//! * `cargo bench` measures the simulation engine (DES throughput, sweep
+//!   scaling, forecaster fits) and regenerates each artifact under
+//!   Criterion timing.
+
+/// Standard seeds used by the benches and the repro binary so their outputs
+/// are comparable across runs.
+pub mod seeds {
+    /// The flagship two-year world.
+    pub const WORLD: u64 = 20220101;
+    /// Mechanism experiments.
+    pub const MECHANISM: u64 = 7;
+}

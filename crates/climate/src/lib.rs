@@ -1,0 +1,26 @@
+//! # greener-climate
+//!
+//! Weather and climate substrate for the `greener` workspace.
+//!
+//! Section II-B of *"A Green(er) World for A.I."* argues that energy-aware
+//! cluster optimization must account for weather and climate (the `ε` term of
+//! Eq. 1): cooling power tracks outdoor temperature (Fig. 4), extreme weather
+//! stresses previously efficient cooling, and weatherization should be
+//! exercised with Dodd-Frank-style stress tests. This crate provides:
+//!
+//! * [`weather`] — an hourly weather generator (temperature / wind / cloud
+//!   cover) with Boston-like seasonal normals, diurnal cycles and AR(1)
+//!   weather noise; this is the substitute for the local weather the MIT
+//!   SuperCloud experiences.
+//! * [`events`] — episodic extremes: heat waves and cold snaps.
+//! * [`stress`] — the stress-scenario descriptors (heat waves, uniform
+//!   warming, cooling degradation, demand surges, grid shocks) consumed by
+//!   the stress-test harness in `greener-core`.
+
+pub mod events;
+pub mod stress;
+pub mod weather;
+
+pub use events::{EpisodeKind, ExtremeEvent};
+pub use stress::{StressKind, StressScenario};
+pub use weather::{WeatherConfig, WeatherPath};

@@ -1,0 +1,53 @@
+//! # greener-core
+//!
+//! The core of the `greener` workspace: the paper's optimization framework
+//! (Eq. 1 / Eq. 2), the year-scale datacenter simulation that ties every
+//! substrate together, and the experiment harness that regenerates each
+//! figure and table of *"A Green(er) World for A.I."* (IPDPSW 2022).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use greener_core::scenario::Scenario;
+//! use greener_core::driver::SimDriver;
+//!
+//! // A small scenario: 14 simulated days starting Jan 1 2020.
+//! let scenario = Scenario::quick(14, 42);
+//! let result = SimDriver::run(&scenario);
+//! println!(
+//!     "energy {:.1} kWh, carbon {:.1} kg, {} jobs done",
+//!     result.telemetry.total_energy_kwh(),
+//!     result.telemetry.total_carbon_kg(),
+//!     result.jobs.completed,
+//! );
+//! assert!(result.telemetry.total_energy_kwh() > 0.0);
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`scenario`] — the full configuration bundle (cluster, grid, climate,
+//!   workload, policy, strategy) with presets.
+//! * [`driver`] — the discrete-event simulation loop.
+//! * [`accounting`] — energy/carbon/cost/water accounting, opportunity
+//!   costs (§II-A) and the footprint-estimate-variance analysis (§IV-B).
+//! * [`strategy`] — energy-purchasing strategies: green-window utilization
+//!   shifting and battery storage (§II-A).
+//! * [`optimize`] — Eq. 1 (facility-level) and Eq. 2 (per-user) problems
+//!   with a parallel grid-search optimizer.
+//! * [`stress`] — the Dodd-Frank-style stress-test harness (§II-B).
+//! * [`trends`] — the Fig. 1 compute-trend dataset and doubling-time fits.
+//! * [`experiments`] — figure/table regeneration (F1–F5, T1).
+//! * [`ablations`] — the quantified §II–§IV claims (E6–E14).
+
+pub mod ablations;
+pub mod accounting;
+pub mod driver;
+pub mod experiments;
+pub mod optimize;
+pub mod scenario;
+pub mod strategy;
+pub mod stress;
+pub mod trends;
+
+pub use driver::{JobStats, RunResult, SimDriver};
+pub use scenario::{ForecastMode, Scenario};

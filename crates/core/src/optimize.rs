@@ -1,0 +1,341 @@
+//! The paper's optimization framework: Eq. 1 and Eq. 2.
+//!
+//! **Eq. 1** — `min E(q_d, q_s, p, c, ε)  s.t.  A(·) ≥ α`: choose supplied
+//! resources `q_s`, the scheduling rule `p` and control mechanisms `c` to
+//! minimize an energy objective subject to an activity floor.
+//! [`Eq1Problem::grid_search`] evaluates a decision grid in parallel
+//! (Rayon) with paired traces and returns the feasible argmin.
+//!
+//! **Eq. 2** — the per-user decomposition `min_i e_i s.t. a_i ≥ α_i` with
+//! `Σ e_i = E, Σ a_i = A`: [`Eq2Decomposition`] attributes a run's energy
+//! and activity to individual users (plus a facility-overhead bucket) and
+//! verifies the aggregation identities.
+
+use greener_sched::PolicyKind;
+use greener_workload::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::driver::{RunResult, SimDriver};
+use crate::scenario::Scenario;
+
+/// The energy objective `E(·)` of Eq. 1 — "any number of quantities
+/// correlated with energy expenditure".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnergyObjective {
+    /// Kilowatt-hours purchased.
+    EnergyKwh,
+    /// Kilograms of CO₂ emitted.
+    CarbonKg,
+    /// Dollars spent on energy.
+    CostUsd,
+    /// Litres of cooling water.
+    WaterL,
+}
+
+impl EnergyObjective {
+    /// Evaluate on a run.
+    pub fn of(&self, run: &RunResult) -> f64 {
+        match self {
+            EnergyObjective::EnergyKwh => run.telemetry.total_energy_kwh(),
+            EnergyObjective::CarbonKg => run.telemetry.total_carbon_kg(),
+            EnergyObjective::CostUsd => run.telemetry.total_cost_usd(),
+            EnergyObjective::WaterL => run.telemetry.total_water_l(),
+        }
+    }
+}
+
+/// The activity measure `A(·)` of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ActivityMeasure {
+    /// Completed nominal GPU-hours.
+    GpuHours,
+    /// Completed job count.
+    JobsCompleted,
+    /// Negative mean wait (higher = better service).
+    NegMeanWaitHours,
+}
+
+impl ActivityMeasure {
+    /// Evaluate on a run.
+    pub fn of(&self, run: &RunResult) -> f64 {
+        match self {
+            ActivityMeasure::GpuHours => run.jobs.gpu_hours_completed,
+            ActivityMeasure::JobsCompleted => run.jobs.completed as f64,
+            ActivityMeasure::NegMeanWaitHours => -run.jobs.mean_wait_hours,
+        }
+    }
+}
+
+/// One point on the Eq. 1 decision grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionPoint {
+    /// Cluster-size multiplier on the baseline node count (`q_s`).
+    pub qs_mult: f64,
+    /// Scheduling policy (`p` and scheduler-side `c`).
+    pub policy: PolicyKind,
+}
+
+/// One evaluated grid cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvaluatedPoint {
+    /// The decisions.
+    pub point: DecisionPoint,
+    /// Objective value.
+    pub energy: f64,
+    /// Activity value.
+    pub activity: f64,
+    /// Whether the activity floor was met.
+    pub feasible: bool,
+}
+
+/// The Eq. 1 problem instance.
+#[derive(Debug, Clone)]
+pub struct Eq1Problem {
+    /// Base scenario (workload and environment are held fixed).
+    pub base: Scenario,
+    /// Objective to minimize.
+    pub objective: EnergyObjective,
+    /// Activity measure.
+    pub activity: ActivityMeasure,
+    /// Activity floor α.
+    pub alpha: f64,
+}
+
+impl Eq1Problem {
+    /// Evaluate one decision point (paired trace: the seed is shared).
+    pub fn evaluate(&self, point: DecisionPoint) -> EvaluatedPoint {
+        let mut scenario = self.base.clone().with_policy(point.policy);
+        let nodes = (self.base.cluster.nodes as f64 * point.qs_mult).round().max(1.0) as u32;
+        scenario.cluster.nodes = nodes;
+        let run = SimDriver::run(&scenario);
+        let energy = self.objective.of(&run);
+        let activity = self.activity.of(&run);
+        EvaluatedPoint {
+            point,
+            energy,
+            activity,
+            feasible: activity >= self.alpha,
+        }
+    }
+
+    /// Evaluate a decision grid in parallel and return all cells plus the
+    /// feasible argmin (None if no cell meets the α floor).
+    pub fn grid_search(
+        &self,
+        qs_mults: &[f64],
+        policies: &[PolicyKind],
+    ) -> (Vec<EvaluatedPoint>, Option<EvaluatedPoint>) {
+        let grid: Vec<DecisionPoint> = greener_simkit::sweep::grid2(qs_mults, policies)
+            .into_iter()
+            .map(|(qs_mult, policy)| DecisionPoint { qs_mult, policy })
+            .collect();
+        let cells = greener_simkit::sweep::run(&grid, |p| self.evaluate(*p));
+        let best = cells
+            .iter()
+            .filter(|c| c.feasible)
+            .min_by(|a, b| a.energy.partial_cmp(&b.energy).expect("finite"))
+            .cloned();
+        (cells, best)
+    }
+}
+
+/// Per-user share of a run (Eq. 2's `e_i` and `a_i`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserShare {
+    /// User (None = the facility-overhead bucket: idle draw, cooling,
+    /// fixed infrastructure).
+    pub user: Option<UserId>,
+    /// Attributed energy, kWh.
+    pub energy_kwh: f64,
+    /// Attributed activity, GPU-hours.
+    pub activity_gpu_hours: f64,
+}
+
+/// Eq. 2: the per-user decomposition of a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Eq2Decomposition {
+    /// Per-user shares, descending by energy, with the overhead bucket last.
+    pub shares: Vec<UserShare>,
+    /// Facility total energy, kWh (the `E` the shares must sum to).
+    pub total_energy_kwh: f64,
+    /// Total activity, GPU-hours (the `A` the shares must sum to).
+    pub total_activity: f64,
+}
+
+impl Eq2Decomposition {
+    /// Decompose a run: each completed job's GPU energy goes to its user;
+    /// everything else (idle GPUs, host overhead, cooling, fixed infra,
+    /// battery losses) goes to the overhead bucket.
+    pub fn from_run(run: &RunResult) -> Eq2Decomposition {
+        let total_energy = run.telemetry.total_energy_kwh();
+        let mut per_user: HashMap<UserId, (f64, f64)> = HashMap::new();
+        for rec in &run.job_records {
+            let e = per_user.entry(rec.user).or_insert((0.0, 0.0));
+            e.0 += rec.energy.kwh();
+            e.1 += rec.work_gpu_hours;
+        }
+        let user_energy: f64 = per_user.values().map(|v| v.0).sum();
+        let total_activity: f64 = per_user.values().map(|v| v.1).sum();
+        let mut shares: Vec<UserShare> = per_user
+            .into_iter()
+            .map(|(user, (e, a))| UserShare {
+                user: Some(user),
+                energy_kwh: e,
+                activity_gpu_hours: a,
+            })
+            .collect();
+        shares.sort_by(|a, b| b.energy_kwh.partial_cmp(&a.energy_kwh).expect("finite"));
+        shares.push(UserShare {
+            user: None,
+            energy_kwh: total_energy - user_energy,
+            activity_gpu_hours: 0.0,
+        });
+        Eq2Decomposition {
+            shares,
+            total_energy_kwh: total_energy,
+            total_activity,
+        }
+    }
+
+    /// Verify `Σ eᵢ = E` and `Σ aᵢ = A` within tolerance.
+    pub fn check_identities(&self) -> Result<(), String> {
+        let e_sum: f64 = self.shares.iter().map(|s| s.energy_kwh).sum();
+        if (e_sum - self.total_energy_kwh).abs() > 1e-6 * self.total_energy_kwh.max(1.0) {
+            return Err(format!(
+                "Σe_i = {e_sum} but E = {}",
+                self.total_energy_kwh
+            ));
+        }
+        let a_sum: f64 = self
+            .shares
+            .iter()
+            .map(|s| s.activity_gpu_hours)
+            .sum();
+        if (a_sum - self.total_activity).abs() > 1e-6 * self.total_activity.max(1.0) {
+            return Err(format!("Σa_i = {a_sum} but A = {}", self.total_activity));
+        }
+        Ok(())
+    }
+
+    /// Users violating a per-user activity floor `α_i` (same floor for all
+    /// here; mechanisms may differentiate).
+    pub fn users_below(&self, alpha_i: f64) -> usize {
+        self.shares
+            .iter()
+            .filter(|s| s.user.is_some() && s.activity_gpu_hours < alpha_i)
+            .count()
+    }
+
+    /// The overhead bucket's share of total energy — what hardware-side
+    /// mechanisms (`c`) can attack without touching any user.
+    pub fn overhead_fraction(&self) -> f64 {
+        self.shares
+            .iter()
+            .find(|s| s.user.is_none())
+            .map(|s| s.energy_kwh / self.total_energy_kwh)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_problem() -> Eq1Problem {
+        Eq1Problem {
+            base: Scenario::quick(5, 31),
+            objective: EnergyObjective::EnergyKwh,
+            activity: ActivityMeasure::GpuHours,
+            alpha: 0.0,
+        }
+    }
+
+    #[test]
+    fn grid_search_finds_feasible_min() {
+        let problem = quick_problem();
+        let (cells, best) = problem.grid_search(
+            &[0.75, 1.0],
+            &[PolicyKind::EasyBackfill, PolicyKind::StaticCap { cap_w: 150.0 }],
+        );
+        assert_eq!(cells.len(), 4);
+        let best = best.expect("α=0 means everything is feasible");
+        for c in &cells {
+            assert!(best.energy <= c.energy + 1e-9);
+        }
+        // A capped, smaller cluster uses less energy than the nominal one.
+        let nominal = cells
+            .iter()
+            .find(|c| c.point.qs_mult == 1.0 && c.point.policy == PolicyKind::EasyBackfill)
+            .unwrap();
+        assert!(best.energy < nominal.energy);
+    }
+
+    #[test]
+    fn infeasible_alpha_returns_none() {
+        let mut problem = quick_problem();
+        problem.alpha = f64::INFINITY;
+        let (_, best) = problem.grid_search(&[1.0], &[PolicyKind::Fcfs]);
+        assert!(best.is_none());
+    }
+
+    #[test]
+    fn activity_floor_excludes_starved_cells() {
+        // Demand a decent activity floor: the tiny 0.25x cluster should
+        // complete less work than the 1.0x one.
+        let problem = quick_problem();
+        let small = problem.evaluate(DecisionPoint {
+            qs_mult: 0.25,
+            policy: PolicyKind::EasyBackfill,
+        });
+        let large = problem.evaluate(DecisionPoint {
+            qs_mult: 1.0,
+            policy: PolicyKind::EasyBackfill,
+        });
+        assert!(large.activity >= small.activity);
+    }
+
+    #[test]
+    fn eq2_identities_hold() {
+        let run = SimDriver::run(&Scenario::quick(7, 33));
+        let dec = Eq2Decomposition::from_run(&run);
+        dec.check_identities().unwrap();
+        assert!(dec.shares.len() > 2);
+        // Overhead is a meaningful but not dominant share.
+        let ov = dec.overhead_fraction();
+        assert!(ov > 0.1 && ov < 0.98, "overhead fraction {ov:.3}");
+        // Shares sorted descending (ignoring the overhead tail entry).
+        let user_shares: Vec<f64> = dec
+            .shares
+            .iter()
+            .filter(|s| s.user.is_some())
+            .map(|s| s.energy_kwh)
+            .collect();
+        assert!(user_shares.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn users_below_floor_counts() {
+        let run = SimDriver::run(&Scenario::quick(7, 34));
+        let dec = Eq2Decomposition::from_run(&run);
+        assert_eq!(dec.users_below(0.0), 0);
+        let all_users = dec.shares.iter().filter(|s| s.user.is_some()).count();
+        assert_eq!(dec.users_below(f64::INFINITY), all_users);
+    }
+
+    #[test]
+    fn objectives_and_activities_evaluate() {
+        let run = SimDriver::run(&Scenario::quick(5, 35));
+        for obj in [
+            EnergyObjective::EnergyKwh,
+            EnergyObjective::CarbonKg,
+            EnergyObjective::CostUsd,
+            EnergyObjective::WaterL,
+        ] {
+            assert!(obj.of(&run) > 0.0, "{obj:?}");
+        }
+        assert!(ActivityMeasure::GpuHours.of(&run) > 0.0);
+        assert!(ActivityMeasure::JobsCompleted.of(&run) > 0.0);
+        assert!(ActivityMeasure::NegMeanWaitHours.of(&run) <= 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # greener-forecast
+//!
+//! Predictive analytics for energy-aware operation.
+//!
+//! Section II-C: "Models that help forecast and relate energy prices, fuel
+//! mix, as well as energy expenditure to one another can provide significant
+//! support in the decision-making process for optimizing energy purchases
+//! and consumption." This crate provides classical, dependency-free
+//! forecasters plus a rolling-origin backtesting harness:
+//!
+//! * [`model`] — mean, drift, seasonal-naive, simple exponential smoothing,
+//!   Holt's linear trend, additive Holt-Winters, and AR(p) via least squares.
+//! * [`metrics`] — MAE / RMSE / MAPE / sMAPE.
+//! * [`backtest`] — rolling-origin cross-validation over a series.
+//! * [`linalg`] — the small dense solver backing AR(p).
+//!
+//! The carbon-aware scheduler consumes 24–48 h green-share forecasts;
+//! experiment E11 scores every model against naive baselines and measures
+//! the end-to-end value of forecast quality.
+
+pub mod backtest;
+pub mod linalg;
+pub mod metrics;
+pub mod model;
+
+pub use backtest::{backtest, BacktestReport};
+pub use metrics::{mae, mape, rmse, smape};
+pub use model::{Forecaster, ForecasterKind};

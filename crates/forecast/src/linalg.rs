@@ -1,0 +1,160 @@
+//! Small dense linear algebra: just enough to fit AR(p) by least squares.
+
+/// Solve `A·x = b` for square `A` (row-major) by Gaussian elimination with
+/// partial pivoting. Returns `None` for singular (or near-singular) systems.
+pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    if n == 0 || b.len() != n || a.iter().any(|row| row.len() != n) {
+        return None;
+    }
+    // Augmented matrix.
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &bi)| {
+            let mut r = row.clone();
+            r.push(bi);
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .expect("finite")
+        })?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = m[row][col] / m[col][col];
+            for k in col..=n {
+                m[row][k] -= f * m[col][k];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = m[row][n];
+        for k in row + 1..n {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Some(x)
+}
+
+/// Ordinary least squares: solve `X'X β = X'y` for the design matrix `X`
+/// (rows = observations). Returns `None` when the normal equations are
+/// singular.
+pub fn least_squares(x: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    let n = x.len();
+    if n == 0 || y.len() != n {
+        return None;
+    }
+    let p = x[0].len();
+    let mut xtx = vec![vec![0.0; p]; p];
+    let mut xty = vec![0.0; p];
+    for (row, &yi) in x.iter().zip(y) {
+        if row.len() != p {
+            return None;
+        }
+        for i in 0..p {
+            xty[i] += row[i] * yi;
+            for j in 0..p {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    // Ridge-stabilize very slightly: energy series can be near-collinear.
+    for (i, row) in xtx.iter_mut().enumerate() {
+        row[i] += 1e-9;
+    }
+    solve(&xtx, &xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(&a, &[3.0, -4.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] + 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_general_3x3() {
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let x = solve(&a, &[8.0, -11.0, -3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert!((x[2] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(solve(&[], &[]).is_none());
+        let a = vec![vec![1.0, 2.0]];
+        assert!(solve(&a, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn least_squares_recovers_coefficients() {
+        // y = 2·x1 - 3·x2 + 0.5, no noise.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..30 {
+            let x1 = (i as f64 * 0.37).sin();
+            let x2 = (i as f64 * 0.11).cos();
+            xs.push(vec![x1, x2, 1.0]);
+            ys.push(2.0 * x1 - 3.0 * x2 + 0.5);
+        }
+        let beta = least_squares(&xs, &ys).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-6);
+        assert!((beta[1] + 3.0).abs() < 1e-6);
+        assert!((beta[2] - 0.5).abs() < 1e-6);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For random well-conditioned systems, `solve` inverts `A·x`.
+            #[test]
+            fn solve_roundtrip(seed_vals in prop::collection::vec(-5.0f64..5.0, 9), x in prop::collection::vec(-10.0f64..10.0, 3)) {
+                let mut a: Vec<Vec<f64>> = seed_vals.chunks(3).map(|c| c.to_vec()).collect();
+                // Make it diagonally dominant → invertible.
+                for i in 0..3 {
+                    a[i][i] += 20.0;
+                }
+                let b: Vec<f64> = (0..3)
+                    .map(|i| (0..3).map(|j| a[i][j] * x[j]).sum())
+                    .collect();
+                let got = solve(&a, &b).expect("diagonally dominant");
+                for i in 0..3 {
+                    prop_assert!((got[i] - x[i]).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

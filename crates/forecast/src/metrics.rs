@@ -1,0 +1,122 @@
+//! Forecast-accuracy metrics.
+
+/// Mean absolute error. NaN on empty or mismatched input.
+pub fn mae(actual: &[f64], forecast: &[f64]) -> f64 {
+    if actual.is_empty() || actual.len() != forecast.len() {
+        return f64::NAN;
+    }
+    actual
+        .iter()
+        .zip(forecast)
+        .map(|(a, f)| (a - f).abs())
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Root-mean-square error.
+pub fn rmse(actual: &[f64], forecast: &[f64]) -> f64 {
+    if actual.is_empty() || actual.len() != forecast.len() {
+        return f64::NAN;
+    }
+    (actual
+        .iter()
+        .zip(forecast)
+        .map(|(a, f)| (a - f) * (a - f))
+        .sum::<f64>()
+        / actual.len() as f64)
+        .sqrt()
+}
+
+/// Mean absolute percentage error (%). Skips zero actuals.
+pub fn mape(actual: &[f64], forecast: &[f64]) -> f64 {
+    if actual.is_empty() || actual.len() != forecast.len() {
+        return f64::NAN;
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (a, f) in actual.iter().zip(forecast) {
+        if a.abs() > 1e-12 {
+            sum += ((a - f) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        100.0 * sum / n as f64
+    }
+}
+
+/// Symmetric MAPE (%), bounded in [0, 200].
+pub fn smape(actual: &[f64], forecast: &[f64]) -> f64 {
+    if actual.is_empty() || actual.len() != forecast.len() {
+        return f64::NAN;
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (a, f) in actual.iter().zip(forecast) {
+        let denom = (a.abs() + f.abs()) / 2.0;
+        if denom > 1e-12 {
+            sum += (a - f).abs() / denom;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        100.0 * sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_forecast_scores_zero() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&a, &a), 0.0);
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(mape(&a, &a), 0.0);
+        assert_eq!(smape(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let a = [2.0, 4.0];
+        let f = [1.0, 6.0];
+        assert!((mae(&a, &f) - 1.5).abs() < 1e-12);
+        assert!((rmse(&a, &f) - (2.5f64).sqrt()).abs() < 1e-12);
+        // MAPE: (0.5 + 0.5)/2 ·100 = 50%.
+        assert!((mape(&a, &f) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_dominates_mae() {
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let f = [0.0, 0.0, 0.0, 4.0];
+        assert!(rmse(&a, &f) >= mae(&a, &f));
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let a = [0.0, 2.0];
+        let f = [5.0, 3.0];
+        assert!((mape(&a, &f) - 50.0).abs() < 1e-12);
+        assert!(mape(&[0.0], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn smape_bounded() {
+        let a = [1.0, -1.0, 100.0];
+        let f = [-1.0, 1.0, -100.0];
+        let s = smape(&a, &f);
+        assert!(s <= 200.0 + 1e-9);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_nan() {
+        assert!(mae(&[1.0], &[1.0, 2.0]).is_nan());
+        assert!(rmse(&[], &[]).is_nan());
+    }
+}

@@ -1,0 +1,31 @@
+//! # greener-grid
+//!
+//! Electricity-grid substrate: an ISO-New-England-like model of the power
+//! system feeding the datacenter in *"A Green(er) World for A.I."*.
+//!
+//! Section II-A of the paper studies the *fuel mix* of supplied power (the
+//! share generated from solar and wind), locational marginal prices (LMP)
+//! and the environmental opportunity cost of buying power when the mix is
+//! dirty. Figures 2 and 3 plot monthly power/price against the monthly green
+//! share. This crate reproduces that environment:
+//!
+//! * [`mix`] — regional demand and fuel-mix dispatch (gas, nuclear, hydro,
+//!   wind, solar, other) driven by the weather path from `greener-climate`;
+//!   the green share emerges from seasonal wind/solar capacity factors.
+//! * [`price`] — a merit-order LMP model: seasonal gas prices × a heat-rate
+//!   curve rising with system utilization.
+//! * [`carbon`] — per-fuel emission factors and the hourly grid carbon
+//!   intensity.
+//! * [`storage`] — a battery model for the "store green energy" strategy.
+//! * [`ledger`] — energy-purchase records and aggregate cost/carbon totals.
+
+pub mod carbon;
+pub mod ledger;
+pub mod mix;
+pub mod price;
+pub mod storage;
+
+pub use carbon::EMISSION_FACTORS_KG_PER_MWH;
+pub use ledger::{PurchaseLedger, PurchaseRecord};
+pub use mix::{FuelSource, GridConfig, GridPath};
+pub use storage::{Battery, BatteryConfig};

@@ -1,0 +1,409 @@
+//! Cluster state: nodes, gang allocation and IT power.
+//!
+//! The cluster is the supply side `q_s` of Eq. 1. Jobs request GPU gangs;
+//! allocation is first-fit-descending over nodes (pack), gangs may span
+//! nodes (SuperCloud-style), and a node burns its CPU/host overhead only
+//! while it hosts at least one allocated GPU.
+
+use greener_simkit::units::Power;
+use greener_workload::JobId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::gpu::GpuModel;
+
+/// Static cluster shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: u32,
+    /// GPUs per node.
+    pub gpus_per_node: u32,
+    /// Host (CPU/memory/NIC) overhead while a node is active, watts.
+    pub node_active_overhead_w: f64,
+    /// Node draw while fully idle, watts.
+    pub node_idle_w: f64,
+    /// Fixed infrastructure (storage, network fabric, head nodes), watts.
+    pub fixed_infra_w: f64,
+    /// GPU model installed throughout.
+    pub gpu: GpuModel,
+}
+
+impl Default for ClusterSpec {
+    /// A ~200 kW-IT cluster: 320 dual-GPU nodes (640 V100-like GPUs).
+    fn default() -> Self {
+        ClusterSpec {
+            nodes: 320,
+            gpus_per_node: 2,
+            node_active_overhead_w: 240.0,
+            node_idle_w: 95.0,
+            fixed_infra_w: 22_000.0,
+            gpu: GpuModel::default(),
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// Total GPUs in the cluster.
+    pub fn total_gpus(&self) -> u32 {
+        self.nodes * self.gpus_per_node
+    }
+}
+
+/// One job's placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// `(node index, gpus on that node)` pieces of the gang.
+    pub pieces: Vec<(u32, u32)>,
+    /// Power cap applied to every GPU of the gang, watts.
+    pub power_cap_w: f64,
+    /// Mean utilization of the gang's GPUs.
+    pub utilization: f64,
+}
+
+impl Allocation {
+    /// Total GPUs in the gang.
+    pub fn gpus(&self) -> u32 {
+        self.pieces.iter().map(|(_, g)| g).sum()
+    }
+}
+
+/// Allocation failure reasons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocError {
+    /// Not enough free GPUs cluster-wide.
+    InsufficientGpus,
+    /// The job id already holds an allocation.
+    DuplicateJob,
+    /// Zero-GPU requests are invalid.
+    EmptyRequest,
+}
+
+/// Mutable cluster state.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    free_per_node: Vec<u32>,
+    allocations: HashMap<JobId, Allocation>,
+    free_total: u32,
+}
+
+impl Cluster {
+    /// An empty cluster.
+    pub fn new(spec: ClusterSpec) -> Cluster {
+        let free_per_node = vec![spec.gpus_per_node; spec.nodes as usize];
+        let free_total = spec.total_gpus();
+        Cluster {
+            spec,
+            free_per_node,
+            allocations: HashMap::new(),
+            free_total,
+        }
+    }
+
+    /// The static spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Total GPUs.
+    pub fn total_gpus(&self) -> u32 {
+        self.spec.total_gpus()
+    }
+
+    /// Currently free GPUs.
+    pub fn free_gpus(&self) -> u32 {
+        self.free_total
+    }
+
+    /// Currently allocated GPUs.
+    pub fn running_gpus(&self) -> u32 {
+        self.total_gpus() - self.free_total
+    }
+
+    /// GPU-count utilization in [0,1].
+    pub fn gpu_utilization(&self) -> f64 {
+        self.running_gpus() as f64 / self.total_gpus() as f64
+    }
+
+    /// Whether a gang of `gpus` fits right now (spanning allowed).
+    pub fn can_fit(&self, gpus: u32) -> bool {
+        gpus > 0 && gpus <= self.free_total
+    }
+
+    /// Number of active jobs.
+    pub fn active_jobs(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Look up a job's allocation.
+    pub fn allocation(&self, job: JobId) -> Option<&Allocation> {
+        self.allocations.get(&job)
+    }
+
+    /// Allocate a gang, packing into the fullest partially-free nodes first
+    /// (first-fit-descending keeps whole nodes idle so host overhead stays
+    /// low — an energy-aware placement in itself).
+    pub fn allocate(
+        &mut self,
+        job: JobId,
+        gpus: u32,
+        power_cap_w: f64,
+        utilization: f64,
+    ) -> Result<(), AllocError> {
+        if gpus == 0 {
+            return Err(AllocError::EmptyRequest);
+        }
+        if self.allocations.contains_key(&job) {
+            return Err(AllocError::DuplicateJob);
+        }
+        if gpus > self.free_total {
+            return Err(AllocError::InsufficientGpus);
+        }
+        // Candidate nodes: free > 0, sorted by (busy-ness desc, index asc)
+        // so we fill partially-used nodes before waking idle ones.
+        let mut candidates: Vec<u32> = (0..self.spec.nodes)
+            .filter(|&n| self.free_per_node[n as usize] > 0)
+            .collect();
+        candidates.sort_by_key(|&n| {
+            let free = self.free_per_node[n as usize];
+            (free, n) // fewer free GPUs first = busier first
+        });
+        let mut remaining = gpus;
+        let mut pieces = Vec::new();
+        for n in candidates {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(self.free_per_node[n as usize]);
+            if take > 0 {
+                self.free_per_node[n as usize] -= take;
+                pieces.push((n, take));
+                remaining -= take;
+            }
+        }
+        debug_assert_eq!(remaining, 0, "free_total said it fits");
+        self.free_total -= gpus;
+        let cap = self.spec.gpu.clamp_cap(power_cap_w);
+        self.allocations.insert(
+            job,
+            Allocation {
+                pieces,
+                power_cap_w: cap,
+                utilization: utilization.clamp(0.0, 1.0),
+            },
+        );
+        Ok(())
+    }
+
+    /// Release a job's gang. Returns false if the job held nothing.
+    pub fn release(&mut self, job: JobId) -> bool {
+        let Some(alloc) = self.allocations.remove(&job) else {
+            return false;
+        };
+        for (n, g) in &alloc.pieces {
+            self.free_per_node[*n as usize] += g;
+            debug_assert!(self.free_per_node[*n as usize] <= self.spec.gpus_per_node);
+        }
+        self.free_total += alloc.gpus();
+        true
+    }
+
+    /// Change the power cap of a running job (DVFS-style adjustment).
+    pub fn recap(&mut self, job: JobId, power_cap_w: f64) -> bool {
+        let cap = self.spec.gpu.clamp_cap(power_cap_w);
+        match self.allocations.get_mut(&job) {
+            Some(a) => {
+                a.power_cap_w = cap;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of nodes hosting at least one allocated GPU.
+    pub fn active_nodes(&self) -> u32 {
+        self.free_per_node
+            .iter()
+            .filter(|&&free| free < self.spec.gpus_per_node)
+            .count() as u32
+    }
+
+    /// Instantaneous IT power: allocated GPUs at their caps/utilizations,
+    /// idle GPUs at idle draw, node overheads, fixed infrastructure.
+    pub fn it_power(&self) -> Power {
+        let gpu = &self.spec.gpu;
+        let mut total = self.spec.fixed_infra_w;
+        // Node overhead / idle baseline.
+        let active_nodes = self.active_nodes();
+        total += active_nodes as f64 * self.spec.node_active_overhead_w;
+        total += (self.spec.nodes - active_nodes) as f64 * self.spec.node_idle_w;
+        // Idle GPUs on any node draw idle power.
+        let idle_gpus = self.free_total;
+        total += idle_gpus as f64 * gpu.idle_power_w;
+        // Allocated gangs.
+        for alloc in self.allocations.values() {
+            total +=
+                alloc.gpus() as f64 * gpu.power_at(alloc.power_cap_w, alloc.utilization).value();
+        }
+        Power(total)
+    }
+
+    /// Verify internal consistency (used by property tests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let alloc_sum: u32 = self.allocations.values().map(|a| a.gpus()).sum();
+        let free_sum: u32 = self.free_per_node.iter().sum();
+        if free_sum != self.free_total {
+            return Err(format!("free mismatch: {free_sum} vs {}", self.free_total));
+        }
+        if alloc_sum + free_sum != self.total_gpus() {
+            return Err(format!(
+                "GPU conservation violated: {alloc_sum} + {free_sum} != {}",
+                self.total_gpus()
+            ));
+        }
+        for (n, &free) in self.free_per_node.iter().enumerate() {
+            if free > self.spec.gpus_per_node {
+                return Err(format!("node {n} free {free} exceeds capacity"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cluster {
+        Cluster::new(ClusterSpec {
+            nodes: 4,
+            gpus_per_node: 2,
+            ..ClusterSpec::default()
+        })
+    }
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut c = small();
+        assert_eq!(c.total_gpus(), 8);
+        c.allocate(JobId(1), 3, 250.0, 1.0).unwrap();
+        assert_eq!(c.free_gpus(), 5);
+        assert_eq!(c.running_gpus(), 3);
+        assert!(c.release(JobId(1)));
+        assert_eq!(c.free_gpus(), 8);
+        assert!(!c.release(JobId(1)), "double release");
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        let mut c = small();
+        assert_eq!(c.allocate(JobId(1), 0, 250.0, 1.0), Err(AllocError::EmptyRequest));
+        assert_eq!(
+            c.allocate(JobId(1), 9, 250.0, 1.0),
+            Err(AllocError::InsufficientGpus)
+        );
+        c.allocate(JobId(1), 2, 250.0, 1.0).unwrap();
+        assert_eq!(
+            c.allocate(JobId(1), 1, 250.0, 1.0),
+            Err(AllocError::DuplicateJob)
+        );
+    }
+
+    #[test]
+    fn packing_fills_busy_nodes_first() {
+        let mut c = small();
+        c.allocate(JobId(1), 1, 250.0, 1.0).unwrap();
+        // Second 1-GPU job should land on the same node (leaving 3 idle).
+        c.allocate(JobId(2), 1, 250.0, 1.0).unwrap();
+        assert_eq!(c.active_nodes(), 1, "packing should co-locate small jobs");
+    }
+
+    #[test]
+    fn gangs_span_nodes() {
+        let mut c = small();
+        c.allocate(JobId(1), 5, 250.0, 1.0).unwrap();
+        let a = c.allocation(JobId(1)).unwrap();
+        assert_eq!(a.gpus(), 5);
+        assert!(a.pieces.len() >= 3, "5 GPUs across 2-GPU nodes spans ≥3");
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn it_power_grows_with_load() {
+        let mut c = Cluster::new(ClusterSpec::default());
+        let idle = c.it_power().kw();
+        c.allocate(JobId(1), 64, 250.0, 0.95).unwrap();
+        let loaded = c.it_power().kw();
+        assert!(loaded > idle + 10.0, "idle {idle:.1} kW, loaded {loaded:.1} kW");
+        // Idle cluster draws something (fixed infra + idle nodes).
+        assert!(idle > 20.0);
+    }
+
+    #[test]
+    fn power_cap_reduces_power() {
+        let mut a = Cluster::new(ClusterSpec::default());
+        let mut b = Cluster::new(ClusterSpec::default());
+        a.allocate(JobId(1), 128, 250.0, 1.0).unwrap();
+        b.allocate(JobId(1), 128, 150.0, 1.0).unwrap();
+        assert!(b.it_power().value() < a.it_power().value() - 128.0 * 50.0);
+    }
+
+    #[test]
+    fn recap_applies_and_clamps() {
+        let mut c = small();
+        c.allocate(JobId(1), 2, 250.0, 1.0).unwrap();
+        assert!(c.recap(JobId(1), 60.0));
+        assert_eq!(c.allocation(JobId(1)).unwrap().power_cap_w, 100.0); // clamped
+        assert!(!c.recap(JobId(99), 150.0));
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut c = small();
+        assert_eq!(c.gpu_utilization(), 0.0);
+        c.allocate(JobId(1), 4, 250.0, 1.0).unwrap();
+        assert!((c.gpu_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Random allocate/release interleavings conserve GPUs and keep
+            /// per-node bounds.
+            #[test]
+            fn conservation_under_churn(ops in prop::collection::vec((0u8..2, 1u64..30, 1u32..12), 1..120)) {
+                let mut c = Cluster::new(ClusterSpec {
+                    nodes: 8,
+                    gpus_per_node: 4,
+                    ..ClusterSpec::default()
+                });
+                for (op, id, gpus) in ops {
+                    match op {
+                        0 => { let _ = c.allocate(JobId(id), gpus, 200.0, 0.9); }
+                        _ => { c.release(JobId(id)); }
+                    }
+                    prop_assert!(c.check_invariants().is_ok(), "{:?}", c.check_invariants());
+                }
+            }
+
+            /// IT power is monotone in allocated load and always at least the
+            /// idle floor.
+            #[test]
+            fn power_monotone(gangs in prop::collection::vec(1u32..16, 0..12)) {
+                let mut c = Cluster::new(ClusterSpec::default());
+                let mut last = c.it_power().value();
+                for (i, g) in gangs.iter().enumerate() {
+                    if c.allocate(JobId(i as u64), *g, 250.0, 1.0).is_ok() {
+                        let now = c.it_power().value();
+                        prop_assert!(now >= last - 1e-9);
+                        last = now;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Hourly telemetry.
+//!
+//! Section IV-B argues facilities should provide "the central
+//! infrastructure, user interfaces, and analytical tools / instrumentation /
+//! logging" for energy reporting. [`TelemetryLog`] is that instrumentation
+//! for the simulated cluster: one frame per hour with power, environment,
+//! grid and scheduler observables, plus the series/monthly views every
+//! figure is built from.
+
+use greener_simkit::calendar::Calendar;
+use greener_simkit::series::{HourlySeries, MonthlyAgg, MonthlyRow};
+use serde::{Deserialize, Serialize};
+
+/// One hour of observations.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TelemetryFrame {
+    /// Hour index since simulation start.
+    pub hour: u64,
+    /// Outdoor temperature, °F.
+    pub temp_f: f64,
+    /// Mean IT power over the hour, watts.
+    pub it_power_w: f64,
+    /// Mean cooling power over the hour, watts.
+    pub cooling_power_w: f64,
+    /// Mean total facility power, watts.
+    pub total_power_w: f64,
+    /// Energy purchased this hour, kWh.
+    pub energy_kwh: f64,
+    /// Grid green share in [0,1].
+    pub green_share: f64,
+    /// Locational marginal price, $/MWh.
+    pub lmp_usd_mwh: f64,
+    /// Grid carbon intensity, kg/MWh.
+    pub ci_kg_mwh: f64,
+    /// Carbon emitted this hour, kg.
+    pub carbon_kg: f64,
+    /// Energy cost this hour, $.
+    pub cost_usd: f64,
+    /// Cooling water used this hour, litres.
+    pub water_l: f64,
+    /// Jobs waiting in queue at the top of the hour.
+    pub queue_len: u32,
+    /// GPUs allocated at the top of the hour.
+    pub running_gpus: u32,
+    /// GPU-count utilization in [0,1].
+    pub gpu_utilization: f64,
+    /// Facility PUE this hour.
+    pub pue: f64,
+    /// True if the cooling plant was saturated at any point this hour.
+    pub cooling_saturated: bool,
+}
+
+/// Append-only telemetry store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TelemetryLog {
+    calendar: Calendar,
+    frames: Vec<TelemetryFrame>,
+}
+
+impl TelemetryLog {
+    /// An empty log anchored on `calendar`.
+    pub fn new(calendar: Calendar) -> TelemetryLog {
+        TelemetryLog {
+            calendar,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Append one frame (hours must arrive in order).
+    pub fn push(&mut self, frame: TelemetryFrame) {
+        debug_assert!(
+            self.frames.last().map_or(true, |f| f.hour < frame.hour),
+            "telemetry hours must be strictly increasing"
+        );
+        self.frames.push(frame);
+    }
+
+    /// All frames.
+    pub fn frames(&self) -> &[TelemetryFrame] {
+        &self.frames
+    }
+
+    /// Number of recorded hours.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The anchoring calendar.
+    pub fn calendar(&self) -> &Calendar {
+        &self.calendar
+    }
+
+    /// Extract any field as an hourly series.
+    pub fn series_of(&self, f: impl Fn(&TelemetryFrame) -> f64) -> HourlySeries {
+        HourlySeries::from_values(self.calendar, self.frames.iter().map(f).collect())
+    }
+
+    /// Monthly mean total power in kW (Fig. 2/4/5 y-axis).
+    pub fn monthly_power_kw(&self) -> Vec<MonthlyRow> {
+        self.series_of(|f| f.total_power_w / 1_000.0)
+            .monthly(MonthlyAgg::Mean)
+    }
+
+    /// Monthly mean green share, percent (Fig. 2/3 y₂-axis).
+    pub fn monthly_green_pct(&self) -> Vec<MonthlyRow> {
+        self.series_of(|f| f.green_share * 100.0)
+            .monthly(MonthlyAgg::Mean)
+    }
+
+    /// Monthly mean LMP, $/MWh (Fig. 3 y₁-axis).
+    pub fn monthly_lmp(&self) -> Vec<MonthlyRow> {
+        self.series_of(|f| f.lmp_usd_mwh).monthly(MonthlyAgg::Mean)
+    }
+
+    /// Monthly mean temperature, °F (Fig. 4 x-axis).
+    pub fn monthly_temp_f(&self) -> Vec<MonthlyRow> {
+        self.series_of(|f| f.temp_f).monthly(MonthlyAgg::Mean)
+    }
+
+    /// Total energy, kWh.
+    pub fn total_energy_kwh(&self) -> f64 {
+        self.frames.iter().map(|f| f.energy_kwh).sum()
+    }
+
+    /// Total carbon, kg.
+    pub fn total_carbon_kg(&self) -> f64 {
+        self.frames.iter().map(|f| f.carbon_kg).sum()
+    }
+
+    /// Total cost, $.
+    pub fn total_cost_usd(&self) -> f64 {
+        self.frames.iter().map(|f| f.cost_usd).sum()
+    }
+
+    /// Total water, litres.
+    pub fn total_water_l(&self) -> f64 {
+        self.frames.iter().map(|f| f.water_l).sum()
+    }
+
+    /// Fraction of hours with saturated cooling.
+    pub fn cooling_saturation_fraction(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().filter(|f| f.cooling_saturated).count() as f64
+            / self.frames.len() as f64
+    }
+
+    /// Mean GPU utilization across the log.
+    pub fn mean_gpu_utilization(&self) -> f64 {
+        greener_simkit::stats::mean(
+            &self
+                .frames
+                .iter()
+                .map(|f| f.gpu_utilization)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greener_simkit::calendar::CalDate;
+
+    fn log_with(hours: usize) -> TelemetryLog {
+        let cal = Calendar::new(CalDate::new(2020, 1, 1));
+        let mut log = TelemetryLog::new(cal);
+        for h in 0..hours {
+            log.push(TelemetryFrame {
+                hour: h as u64,
+                temp_f: 30.0 + h as f64 * 0.01,
+                it_power_w: 200_000.0,
+                cooling_power_w: 50_000.0,
+                total_power_w: 250_000.0,
+                energy_kwh: 250.0,
+                green_share: 0.06,
+                lmp_usd_mwh: 30.0,
+                ci_kg_mwh: 300.0,
+                carbon_kg: 75.0,
+                cost_usd: 7.5,
+                water_l: 300.0,
+                queue_len: 3,
+                running_gpus: 400,
+                gpu_utilization: 0.625,
+                pue: 1.25,
+                cooling_saturated: h % 10 == 0,
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let log = log_with(100);
+        assert_eq!(log.len(), 100);
+        assert!((log.total_energy_kwh() - 25_000.0).abs() < 1e-9);
+        assert!((log.total_carbon_kg() - 7_500.0).abs() < 1e-9);
+        assert!((log.total_cost_usd() - 750.0).abs() < 1e-9);
+        assert!((log.total_water_l() - 30_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monthly_views_have_right_units() {
+        let log = log_with(31 * 24);
+        let p = log.monthly_power_kw();
+        assert_eq!(p.len(), 1);
+        assert!((p[0].value - 250.0).abs() < 1e-9, "kW conversion");
+        let g = log.monthly_green_pct();
+        assert!((g[0].value - 6.0).abs() < 1e-9, "percent conversion");
+    }
+
+    #[test]
+    fn saturation_fraction() {
+        let log = log_with(100);
+        assert!((log.cooling_saturation_fraction() - 0.1).abs() < 1e-9);
+        assert_eq!(TelemetryLog::new(*log.calendar()).cooling_saturation_fraction(), 0.0);
+    }
+
+    #[test]
+    fn series_extraction() {
+        let log = log_with(48);
+        let temps = log.series_of(|f| f.temp_f);
+        assert_eq!(temps.len(), 48);
+        assert!(temps.at(47) > temps.at(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    #[cfg(debug_assertions)]
+    fn out_of_order_hours_panic() {
+        let cal = Calendar::new(CalDate::new(2020, 1, 1));
+        let mut log = TelemetryLog::new(cal);
+        log.push(TelemetryFrame {
+            hour: 5,
+            ..TelemetryFrame::default()
+        });
+        log.push(TelemetryFrame {
+            hour: 5,
+            ..TelemetryFrame::default()
+        });
+    }
+}

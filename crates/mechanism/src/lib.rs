@@ -1,0 +1,25 @@
+//! # greener-mechanism
+//!
+//! Incentives and mechanism design for energy-aware computing (§II-C).
+//!
+//! The paper's demand-side argument: once hardware-side savings hit
+//! diminishing returns, the remaining efficiency lives with users (`q_d`),
+//! and harvesting it requires "careful planning around mechanism design,
+//! user behavior, and user incentives". This crate implements the two
+//! mechanisms the paper sketches and the failure mode it warns about:
+//!
+//! * [`selection`] — queue self-selection games. Users with private types
+//!   (urgency, green preference) choose among posted queues; congestion is
+//!   solved as a fixed point. Strategic users mis-report and clog the fast
+//!   queue — the paper's *adverse selection* — while truthful assignment
+//!   balances load.
+//! * [`twopart`] — the two-part mechanism: a fixed base power cap
+//!   guarantees a minimum energy saving, and a voluntary menu trades
+//!   stricter caps for more GPUs. Individual rationality and incentive
+//!   compatibility are checked by enumeration.
+
+pub mod selection;
+pub mod twopart;
+
+pub use selection::{AdverseSelectionOutcome, QueueGame, QueueSpec};
+pub use twopart::{MenuTier, TwoPartMechanism, TwoPartOutcome};

@@ -1,0 +1,161 @@
+//! Serializable policy descriptors.
+//!
+//! Experiments sweep over policies; [`PolicyKind`] is the plain-data form a
+//! sweep cell can carry across threads and into JSON reports, with
+//! [`PolicyKind::build`] producing the live policy object.
+
+use serde::{Deserialize, Serialize};
+
+use crate::carbon::{CarbonAwarePolicy, GreenQueuePolicy};
+use crate::energy::{PowerCapPolicy, TempAwarePolicy};
+use crate::policy::{EasyBackfillPolicy, FcfsPolicy, SchedPolicy, SjfPolicy};
+
+/// A policy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Strict first-come-first-served at nominal power.
+    Fcfs,
+    /// Shortest-job-first at nominal power.
+    Sjf,
+    /// EASY backfill at nominal power.
+    EasyBackfill,
+    /// FCFS with a static fleet-wide power cap.
+    StaticCap {
+        /// Cap in watts.
+        cap_w: f64,
+    },
+    /// Backfill with temperature-aware capping.
+    TempAware,
+    /// Backfill behind a carbon-aware deferral gate.
+    CarbonAware {
+        /// Green-share threshold below which deferrable work waits.
+        green_threshold: f64,
+    },
+    /// Urgent/standard/green queue segmentation.
+    GreenQueues {
+        /// Cap applied to green-queue jobs, watts.
+        green_cap_w: f64,
+    },
+    /// Carbon-aware gate over temperature-aware capping (the full §II
+    /// stack).
+    CarbonAndTempAware,
+}
+
+impl PolicyKind {
+    /// Reference list used by policy-comparison experiments.
+    pub const COMPARISON_SET: [PolicyKind; 6] = [
+        PolicyKind::Fcfs,
+        PolicyKind::EasyBackfill,
+        PolicyKind::StaticCap { cap_w: 175.0 },
+        PolicyKind::TempAware,
+        PolicyKind::CarbonAware {
+            green_threshold: 0.06,
+        },
+        PolicyKind::CarbonAndTempAware,
+    ];
+
+    /// Stable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyKind::Fcfs => "fcfs".into(),
+            PolicyKind::Sjf => "sjf".into(),
+            PolicyKind::EasyBackfill => "easy-backfill".into(),
+            PolicyKind::StaticCap { cap_w } => format!("static-cap-{cap_w:.0}W"),
+            PolicyKind::TempAware => "temp-aware".into(),
+            PolicyKind::CarbonAware { green_threshold } => {
+                format!("carbon-aware-{:.0}pct", green_threshold * 100.0)
+            }
+            PolicyKind::GreenQueues { green_cap_w } => {
+                format!("green-queues-{green_cap_w:.0}W")
+            }
+            PolicyKind::CarbonAndTempAware => "carbon+temp-aware".into(),
+        }
+    }
+
+    /// Instantiate the live policy.
+    pub fn build(&self) -> Box<dyn SchedPolicy> {
+        match *self {
+            PolicyKind::Fcfs => Box::new(FcfsPolicy::default()),
+            PolicyKind::Sjf => Box::new(SjfPolicy),
+            PolicyKind::EasyBackfill => Box::new(EasyBackfillPolicy),
+            PolicyKind::StaticCap { cap_w } => {
+                Box::new(PowerCapPolicy::new(Box::new(EasyBackfillPolicy), cap_w))
+            }
+            PolicyKind::TempAware => Box::new(TempAwarePolicy::new(Box::new(EasyBackfillPolicy))),
+            PolicyKind::CarbonAware { green_threshold } => {
+                let mut p = CarbonAwarePolicy::new(Box::new(EasyBackfillPolicy));
+                p.green_threshold = green_threshold;
+                Box::new(p)
+            }
+            PolicyKind::GreenQueues { green_cap_w } => Box::new(GreenQueuePolicy {
+                green_cap_w,
+                ..GreenQueuePolicy::default()
+            }),
+            PolicyKind::CarbonAndTempAware => {
+                let inner = TempAwarePolicy::new(Box::new(EasyBackfillPolicy));
+                Box::new(CarbonAwarePolicy::new(Box::new(inner)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::{cluster, qjob};
+    use crate::policy::SchedSignals;
+
+    #[test]
+    fn every_kind_builds_and_dispatches() {
+        let kinds = [
+            PolicyKind::Fcfs,
+            PolicyKind::Sjf,
+            PolicyKind::EasyBackfill,
+            PolicyKind::StaticCap { cap_w: 150.0 },
+            PolicyKind::TempAware,
+            PolicyKind::CarbonAware {
+                green_threshold: 0.06,
+            },
+            PolicyKind::GreenQueues { green_cap_w: 160.0 },
+            PolicyKind::CarbonAndTempAware,
+        ];
+        let c = cluster();
+        let queue = vec![qjob(1, 2, 1.0)];
+        for k in kinds {
+            let mut p = k.build();
+            let d = p.dispatch(&queue, &c, &SchedSignals::default());
+            crate::policy::validate_decisions(&d, &queue, &c)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.label()));
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<String> = PolicyKind::COMPARISON_SET
+            .iter()
+            .map(|k| k.label())
+            .collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), PolicyKind::COMPARISON_SET.len());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for k in PolicyKind::COMPARISON_SET {
+            let json = serde_json::to_string(&k).unwrap();
+            let back: PolicyKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(k, back);
+        }
+    }
+
+    #[test]
+    fn static_cap_applies() {
+        let mut p = PolicyKind::StaticCap { cap_w: 140.0 }.build();
+        let c = cluster();
+        let queue = vec![qjob(1, 2, 1.0)];
+        let d = p.dispatch(&queue, &c, &SchedSignals::default());
+        assert_eq!(d[0].power_cap_w, 140.0);
+    }
+}

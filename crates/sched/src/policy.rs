@@ -1,0 +1,434 @@
+//! The scheduling interface and baseline policies.
+//!
+//! A policy sees the waiting queue, the cluster state and an environment
+//! snapshot ([`SchedSignals`]) and returns the jobs to start *now*, each
+//! with a power cap. The driver in `greener-core` validates and applies the
+//! decisions; policies never mutate the cluster directly.
+
+use greener_hpc::Cluster;
+use greener_simkit::time::SimTime;
+use greener_workload::{Job, JobId};
+use serde::{Deserialize, Serialize};
+
+/// A queue entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueuedJob {
+    /// The job.
+    pub job: Job,
+    /// When it entered the queue.
+    pub enqueued: SimTime,
+}
+
+/// Environment snapshot at dispatch time.
+#[derive(Debug, Clone, Default)]
+pub struct SchedSignals {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Grid green (solar+wind) share in [0,1].
+    pub green_share: f64,
+    /// Grid carbon intensity, kg/MWh.
+    pub ci_kg_mwh: f64,
+    /// Locational marginal price, $/MWh.
+    pub lmp_usd_mwh: f64,
+    /// Outdoor temperature, °F.
+    pub temp_f: f64,
+    /// Forecast green share for the next hours (index 0 = next hour).
+    pub forecast_green: Vec<f64>,
+    /// Forecast carbon intensity for the next hours.
+    pub forecast_ci: Vec<f64>,
+    /// `(completion time, gpus released)` of running jobs, soonest first
+    /// (what EASY backfill reserves against).
+    pub running_completions: Vec<(SimTime, u32)>,
+}
+
+/// One dispatch decision: start this job under this cap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Job to start.
+    pub job_id: JobId,
+    /// Power cap for every GPU of the gang, watts.
+    pub power_cap_w: f64,
+}
+
+/// A scheduling policy.
+pub trait SchedPolicy: Send {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Choose jobs to start now. Decisions must reference queued jobs and
+    /// must collectively fit in `cluster.free_gpus()` (the driver asserts).
+    fn dispatch(
+        &mut self,
+        queue: &[QueuedJob],
+        cluster: &Cluster,
+        signals: &SchedSignals,
+    ) -> Vec<Decision>;
+}
+
+/// Strict first-come-first-served: start jobs in arrival order until the
+/// head no longer fits (head-of-line blocking preserved — that is the
+/// textbook FCFS baseline the backfill policy improves on).
+#[derive(Debug, Default, Clone)]
+pub struct FcfsPolicy {
+    /// Cap applied to every started job (None = nominal TDP).
+    pub cap_w: Option<f64>,
+}
+
+impl SchedPolicy for FcfsPolicy {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn dispatch(
+        &mut self,
+        queue: &[QueuedJob],
+        cluster: &Cluster,
+        _signals: &SchedSignals,
+    ) -> Vec<Decision> {
+        let cap = self.cap_w.unwrap_or(cluster.spec().gpu.nominal_power_w);
+        let mut free = cluster.free_gpus();
+        let mut out = Vec::new();
+        for q in queue {
+            if q.job.gpus <= free {
+                free -= q.job.gpus;
+                out.push(Decision {
+                    job_id: q.job.id,
+                    power_cap_w: cap,
+                });
+            } else {
+                break; // head-of-line blocking
+            }
+        }
+        out
+    }
+}
+
+/// Shortest-job-first (by nominal duration), greedy packing.
+#[derive(Debug, Default, Clone)]
+pub struct SjfPolicy;
+
+impl SchedPolicy for SjfPolicy {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+
+    fn dispatch(
+        &mut self,
+        queue: &[QueuedJob],
+        cluster: &Cluster,
+        _signals: &SchedSignals,
+    ) -> Vec<Decision> {
+        let cap = cluster.spec().gpu.nominal_power_w;
+        let mut order: Vec<&QueuedJob> = queue.iter().collect();
+        order.sort_by(|a, b| {
+            a.job
+                .nominal_duration()
+                .cmp(&b.job.nominal_duration())
+                .then(a.enqueued.cmp(&b.enqueued))
+        });
+        let mut free = cluster.free_gpus();
+        let mut out = Vec::new();
+        for q in order {
+            if q.job.gpus <= free {
+                free -= q.job.gpus;
+                out.push(Decision {
+                    job_id: q.job.id,
+                    power_cap_w: cap,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// EASY backfill: FCFS with a reservation for the head job; later jobs may
+/// jump the queue only if they fit now *and* finish before the head job's
+/// reservation (so the head is never delayed).
+#[derive(Debug, Default, Clone)]
+pub struct EasyBackfillPolicy;
+
+impl EasyBackfillPolicy {
+    /// Earliest time `gpus` become available given current free GPUs and
+    /// the running-completion profile.
+    fn reservation_time(
+        free_now: u32,
+        gpus: u32,
+        completions: &[(SimTime, u32)],
+        now: SimTime,
+    ) -> SimTime {
+        let mut free = free_now;
+        if gpus <= free {
+            return now;
+        }
+        for &(t, released) in completions {
+            free += released;
+            if gpus <= free {
+                return t;
+            }
+        }
+        // Should not happen for feasible jobs; treat as far future.
+        SimTime(u64::MAX / 2)
+    }
+}
+
+impl SchedPolicy for EasyBackfillPolicy {
+    fn name(&self) -> &'static str {
+        "easy-backfill"
+    }
+
+    fn dispatch(
+        &mut self,
+        queue: &[QueuedJob],
+        cluster: &Cluster,
+        signals: &SchedSignals,
+    ) -> Vec<Decision> {
+        let cap = cluster.spec().gpu.nominal_power_w;
+        let mut free = cluster.free_gpus();
+        let mut out = Vec::new();
+        let mut idx = 0;
+        // Start the FCFS prefix that fits.
+        while idx < queue.len() && queue[idx].job.gpus <= free {
+            free -= queue[idx].job.gpus;
+            out.push(Decision {
+                job_id: queue[idx].job.id,
+                power_cap_w: cap,
+            });
+            idx += 1;
+        }
+        if idx >= queue.len() {
+            return out;
+        }
+        // Head job blocked: compute its reservation.
+        let head = &queue[idx].job;
+        let mut completions = signals.running_completions.clone();
+        completions.sort_by_key(|&(t, _)| t);
+        let shadow =
+            Self::reservation_time(free, head.gpus, &completions, signals.now);
+        // Backfill: any later job that fits now and finishes before shadow,
+        // or that leaves enough GPUs for the head at shadow time.
+        let head_needs = head.gpus;
+        let mut spare_at_shadow = {
+            // GPUs free at shadow time if we start nothing else.
+            let mut f = free;
+            for &(t, released) in &completions {
+                if t <= shadow {
+                    f += released;
+                }
+            }
+            f
+        };
+        for q in &queue[idx + 1..] {
+            if q.job.gpus > free {
+                continue;
+            }
+            let finish = signals.now + q.job.nominal_duration();
+            let ok = finish <= shadow || spare_at_shadow.saturating_sub(q.job.gpus) >= head_needs;
+            if ok {
+                free -= q.job.gpus;
+                if finish > shadow {
+                    spare_at_shadow -= q.job.gpus;
+                }
+                out.push(Decision {
+                    job_id: q.job.id,
+                    power_cap_w: cap,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Validate a decision batch against a queue and cluster: every decision
+/// references a distinct queued job and the total fits. Used by the driver
+/// and by policy tests.
+pub fn validate_decisions(
+    decisions: &[Decision],
+    queue: &[QueuedJob],
+    cluster: &Cluster,
+) -> Result<(), String> {
+    let mut total = 0u32;
+    let mut seen = std::collections::HashSet::new();
+    for d in decisions {
+        let Some(q) = queue.iter().find(|q| q.job.id == d.job_id) else {
+            return Err(format!("decision for unqueued job {:?}", d.job_id));
+        };
+        if !seen.insert(d.job_id) {
+            return Err(format!("duplicate decision for {:?}", d.job_id));
+        }
+        total += q.job.gpus;
+    }
+    if total > cluster.free_gpus() {
+        return Err(format!(
+            "decisions need {total} GPUs, only {} free",
+            cluster.free_gpus()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use greener_hpc::ClusterSpec;
+    use greener_workload::{JobKind, QueueClass, UserId};
+
+    /// A 16-GPU test cluster.
+    pub fn cluster() -> Cluster {
+        Cluster::new(ClusterSpec {
+            nodes: 4,
+            gpus_per_node: 4,
+            ..ClusterSpec::default()
+        })
+    }
+
+    /// A queued job with given id/gpus/hours.
+    pub fn qjob(id: u64, gpus: u32, hours: f64) -> QueuedJob {
+        qjob_at(id, gpus, hours, SimTime::ZERO)
+    }
+
+    /// A queued job with explicit enqueue time.
+    pub fn qjob_at(id: u64, gpus: u32, hours: f64, t: SimTime) -> QueuedJob {
+        QueuedJob {
+            job: Job {
+                id: JobId(id),
+                user: UserId(0),
+                kind: JobKind::Training,
+                gpus,
+                work_gpu_hours: hours * gpus as f64,
+                submit: t,
+                deferrable: false,
+                start_deadline: None,
+                queue: QueueClass::Standard,
+            },
+            enqueued: t,
+        }
+    }
+
+    /// Mark a queued job deferrable with a start deadline.
+    pub fn deferrable(mut q: QueuedJob, by_hours: u64) -> QueuedJob {
+        q.job.deferrable = true;
+        q.job.queue = QueueClass::Green;
+        q.job.start_deadline = Some(q.job.submit + greener_simkit::time::Duration::from_hours(by_hours));
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn fcfs_respects_arrival_order_and_blocks() {
+        let cluster = cluster(); // 16 GPUs
+        let queue = vec![qjob(1, 8, 1.0), qjob(2, 12, 1.0), qjob(3, 2, 1.0)];
+        let mut p = FcfsPolicy::default();
+        let d = p.dispatch(&queue, &cluster, &SchedSignals::default());
+        // Job 1 fits (8), job 2 (12) doesn't fit in the remaining 8 → block;
+        // job 3 must NOT jump ahead under strict FCFS.
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].job_id, JobId(1));
+        validate_decisions(&d, &queue, &cluster).unwrap();
+    }
+
+    #[test]
+    fn sjf_prefers_short_jobs() {
+        let cluster = cluster();
+        let queue = vec![qjob(1, 8, 10.0), qjob(2, 8, 1.0), qjob(3, 8, 5.0)];
+        let mut p = SjfPolicy;
+        let d = p.dispatch(&queue, &cluster, &SchedSignals::default());
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].job_id, JobId(2)); // shortest first
+        assert_eq!(d[1].job_id, JobId(3));
+        validate_decisions(&d, &queue, &cluster).unwrap();
+    }
+
+    #[test]
+    fn backfill_jumps_only_when_harmless() {
+        let mut cluster = cluster(); // 16 GPUs
+        // 12 GPUs busy until t=10h.
+        cluster.allocate(JobId(100), 12, 250.0, 1.0).unwrap();
+        let signals = SchedSignals {
+            now: SimTime::ZERO,
+            running_completions: vec![(SimTime::from_hours(10), 12)],
+            ..SchedSignals::default()
+        };
+        // Head wants the whole machine (blocked until t=10, when all 16
+        // GPUs are free). A 2h×4GPU job can backfill (finishes before the
+        // shadow); a 20h×4GPU job cannot — at the shadow it would leave
+        // only 12 GPUs for the 16-GPU head.
+        let queue = vec![qjob(1, 16, 1.0), qjob(2, 4, 20.0), qjob(3, 4, 2.0)];
+        let mut p = EasyBackfillPolicy;
+        let d = p.dispatch(&queue, &cluster, &signals);
+        let ids: Vec<JobId> = d.iter().map(|x| x.job_id).collect();
+        assert!(ids.contains(&JobId(3)), "short job should backfill");
+        assert!(!ids.contains(&JobId(2)), "long job would delay the head");
+        assert!(!ids.contains(&JobId(1)), "head does not fit yet");
+        validate_decisions(&d, &queue, &cluster).unwrap();
+    }
+
+    #[test]
+    fn backfill_behaves_like_fcfs_when_everything_fits() {
+        let cluster = cluster();
+        let queue = vec![qjob(1, 4, 1.0), qjob(2, 4, 2.0), qjob(3, 4, 3.0)];
+        let mut bf = EasyBackfillPolicy;
+        let mut fc = FcfsPolicy::default();
+        let sig = SchedSignals::default();
+        let d1 = bf.dispatch(&queue, &cluster, &sig);
+        let d2 = fc.dispatch(&queue, &cluster, &sig);
+        assert_eq!(
+            d1.iter().map(|d| d.job_id).collect::<Vec<_>>(),
+            d2.iter().map(|d| d.job_id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn reservation_time_accumulates_releases() {
+        let t = EasyBackfillPolicy::reservation_time(
+            2,
+            8,
+            &[
+                (SimTime::from_hours(1), 2),
+                (SimTime::from_hours(5), 4),
+                (SimTime::from_hours(9), 6),
+            ],
+            SimTime::ZERO,
+        );
+        assert_eq!(t, SimTime::from_hours(5)); // 2+2+4 = 8 at t=5
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        let cluster = cluster();
+        let queue = vec![qjob(1, 8, 1.0)];
+        let bad = vec![Decision {
+            job_id: JobId(99),
+            power_cap_w: 250.0,
+        }];
+        assert!(validate_decisions(&bad, &queue, &cluster).is_err());
+        let dup = vec![
+            Decision {
+                job_id: JobId(1),
+                power_cap_w: 250.0,
+            };
+            2
+        ];
+        assert!(validate_decisions(&dup, &queue, &cluster).is_err());
+        let over = vec![Decision {
+            job_id: JobId(1),
+            power_cap_w: 250.0,
+        }];
+        let mut small = cluster;
+        small.allocate(JobId(50), 10, 250.0, 1.0).unwrap();
+        assert!(validate_decisions(&over, &queue, &small).is_err());
+    }
+
+    #[test]
+    fn fcfs_cap_override() {
+        let cluster = cluster();
+        let queue = vec![qjob(1, 2, 1.0)];
+        let mut p = FcfsPolicy { cap_w: Some(150.0) };
+        let d = p.dispatch(&queue, &cluster, &SchedSignals::default());
+        assert_eq!(d[0].power_cap_w, 150.0);
+    }
+}

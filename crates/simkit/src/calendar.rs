@@ -1,0 +1,448 @@
+//! A leap-year-aware civil calendar.
+//!
+//! The paper's figures are monthly series over calendar years 2020–2021
+//! (2020 is a leap year), so simulation hours must map exactly onto civil
+//! dates. [`CalDate`] provides that mapping together with [`YearMonth`]
+//! buckets used by the monthly aggregations in [`crate::series`].
+
+use crate::time::{SimTime, HOUR, SECONDS_PER_DAY};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Month of the year (1-based like civil usage).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Month {
+    /// January
+    Jan = 1,
+    /// February
+    Feb = 2,
+    /// March
+    Mar = 3,
+    /// April
+    Apr = 4,
+    /// May
+    May = 5,
+    /// June
+    Jun = 6,
+    /// July
+    Jul = 7,
+    /// August
+    Aug = 8,
+    /// September
+    Sep = 9,
+    /// October
+    Oct = 10,
+    /// November
+    Nov = 11,
+    /// December
+    Dec = 12,
+}
+
+impl Month {
+    /// All months in order.
+    pub const ALL: [Month; 12] = [
+        Month::Jan,
+        Month::Feb,
+        Month::Mar,
+        Month::Apr,
+        Month::May,
+        Month::Jun,
+        Month::Jul,
+        Month::Aug,
+        Month::Sep,
+        Month::Oct,
+        Month::Nov,
+        Month::Dec,
+    ];
+
+    /// 1-based month number.
+    #[inline]
+    pub fn number(self) -> u32 {
+        self as u32
+    }
+
+    /// Construct from a 1-based month number. Panics if out of 1..=12.
+    pub fn from_number(n: u32) -> Month {
+        Month::ALL[(n - 1) as usize]
+    }
+
+    /// Three-letter English abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Month::Jan => "Jan",
+            Month::Feb => "Feb",
+            Month::Mar => "Mar",
+            Month::Apr => "Apr",
+            Month::May => "May",
+            Month::Jun => "Jun",
+            Month::Jul => "Jul",
+            Month::Aug => "Aug",
+            Month::Sep => "Sep",
+            Month::Oct => "Oct",
+            Month::Nov => "Nov",
+            Month::Dec => "Dec",
+        }
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// True if `year` is a Gregorian leap year.
+#[inline]
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in the given month.
+pub fn days_in_month(year: i32, month: Month) -> u32 {
+    match month {
+        Month::Jan
+        | Month::Mar
+        | Month::May
+        | Month::Jul
+        | Month::Aug
+        | Month::Oct
+        | Month::Dec => 31,
+        Month::Apr | Month::Jun | Month::Sep | Month::Nov => 30,
+        Month::Feb => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+    }
+}
+
+/// Number of days in the given year.
+pub fn days_in_year(year: i32) -> u32 {
+    if is_leap_year(year) {
+        366
+    } else {
+        365
+    }
+}
+
+/// A civil calendar date.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CalDate {
+    /// Civil year (e.g. 2020).
+    pub year: i32,
+    /// Month of year.
+    pub month: Month,
+    /// Day of month (1-based).
+    pub day: u32,
+}
+
+impl CalDate {
+    /// Construct a date, validating the day against the month length.
+    pub fn new(year: i32, month: u32, day: u32) -> CalDate {
+        let m = Month::from_number(month);
+        assert!(
+            day >= 1 && day <= days_in_month(year, m),
+            "invalid day {day} for {year}-{month:02}"
+        );
+        CalDate { year, month: m, day }
+    }
+
+    /// Zero-based day-of-year for this date.
+    pub fn day_of_year(self) -> u32 {
+        let mut days = 0;
+        for m in Month::ALL {
+            if m == self.month {
+                break;
+            }
+            days += days_in_month(self.year, m);
+        }
+        days + (self.day - 1)
+    }
+
+    /// Days elapsed from `self` to `other` (may be negative).
+    pub fn days_until(self, other: CalDate) -> i64 {
+        fn days_from_civil_epoch(d: CalDate) -> i64 {
+            // Days since 0000-01-01 using year-by-year accumulation.
+            // The simulation only spans decades, so O(years) is fine.
+            let mut total: i64 = 0;
+            if d.year >= 0 {
+                for y in 0..d.year {
+                    total += days_in_year(y) as i64;
+                }
+            } else {
+                for y in d.year..0 {
+                    total -= days_in_year(y) as i64;
+                }
+            }
+            total + d.day_of_year() as i64
+        }
+        days_from_civil_epoch(other) - days_from_civil_epoch(self)
+    }
+
+    /// The date `days` after this one (days may be large).
+    pub fn plus_days(self, days: i64) -> CalDate {
+        let mut year = self.year;
+        let mut doy = self.day_of_year() as i64 + days;
+        while doy < 0 {
+            year -= 1;
+            doy += days_in_year(year) as i64;
+        }
+        while doy >= days_in_year(year) as i64 {
+            doy -= days_in_year(year) as i64;
+            year += 1;
+        }
+        // Convert day-of-year back to month/day.
+        let mut rem = doy as u32;
+        for m in Month::ALL {
+            let dim = days_in_month(year, m);
+            if rem < dim {
+                return CalDate {
+                    year,
+                    month: m,
+                    day: rem + 1,
+                };
+            }
+            rem -= dim;
+        }
+        unreachable!("day-of-year exhausted months")
+    }
+
+    /// The year-month bucket containing this date.
+    #[inline]
+    pub fn year_month(self) -> YearMonth {
+        YearMonth {
+            year: self.year,
+            month: self.month,
+        }
+    }
+
+    /// First day of this date's month.
+    #[inline]
+    pub fn month_start(self) -> CalDate {
+        CalDate {
+            year: self.year,
+            month: self.month,
+            day: 1,
+        }
+    }
+}
+
+impl fmt::Display for CalDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month.number(), self.day)
+    }
+}
+
+/// A (year, month) bucket used for monthly aggregation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct YearMonth {
+    /// Civil year.
+    pub year: i32,
+    /// Month of year.
+    pub month: Month,
+}
+
+impl YearMonth {
+    /// Construct from year and 1-based month number.
+    pub fn new(year: i32, month: u32) -> YearMonth {
+        YearMonth {
+            year,
+            month: Month::from_number(month),
+        }
+    }
+
+    /// The next month (wrapping year-end).
+    pub fn next(self) -> YearMonth {
+        if self.month == Month::Dec {
+            YearMonth {
+                year: self.year + 1,
+                month: Month::Jan,
+            }
+        } else {
+            YearMonth {
+                year: self.year,
+                month: Month::from_number(self.month.number() + 1),
+            }
+        }
+    }
+
+    /// Months elapsed from `self` to `other` (may be negative).
+    pub fn months_until(self, other: YearMonth) -> i32 {
+        (other.year - self.year) * 12 + other.month.number() as i32 - self.month.number() as i32
+    }
+}
+
+impl fmt::Display for YearMonth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.month.abbrev(), self.year)
+    }
+}
+
+/// Maps simulation time onto the civil calendar.
+///
+/// A `Calendar` is anchored at a start date (hour 0 of the simulation is
+/// midnight local time of `start`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Calendar {
+    /// Civil date of simulation hour 0.
+    pub start: CalDate,
+}
+
+impl Calendar {
+    /// Calendar anchored at `start`.
+    pub fn new(start: CalDate) -> Calendar {
+        Calendar { start }
+    }
+
+    /// Civil date containing the given simulation time.
+    pub fn date_at(&self, t: SimTime) -> CalDate {
+        self.start.plus_days(t.day_index() as i64)
+    }
+
+    /// Hour of day (0–23) at the given simulation time.
+    #[inline]
+    pub fn hour_of_day(&self, t: SimTime) -> u32 {
+        ((t.secs() % SECONDS_PER_DAY) / HOUR) as u32
+    }
+
+    /// Day of week (0 = Monday … 6 = Sunday), assuming the anchor is known.
+    ///
+    /// 2020-01-01 was a Wednesday; we compute from a fixed reference.
+    pub fn day_of_week(&self, t: SimTime) -> u32 {
+        let reference = CalDate::new(2020, 1, 1); // Wednesday = 2
+        let days = reference.days_until(self.date_at(t));
+        (((days % 7) + 7) as u32 + 2) % 7
+    }
+
+    /// True if the given time falls on Saturday or Sunday.
+    pub fn is_weekend(&self, t: SimTime) -> bool {
+        self.day_of_week(t) >= 5
+    }
+
+    /// Year-month bucket for the given simulation time.
+    pub fn year_month_at(&self, t: SimTime) -> YearMonth {
+        self.date_at(t).year_month()
+    }
+
+    /// Simulation hour index of the first hour of the given date.
+    /// Returns `None` if the date precedes the calendar start.
+    pub fn hour_index_of(&self, date: CalDate) -> Option<u64> {
+        let days = self.start.days_until(date);
+        if days < 0 {
+            None
+        } else {
+            Some(days as u64 * 24)
+        }
+    }
+
+    /// Fraction of the year elapsed at time `t` (0.0 = Jan 1, ~1.0 = Dec 31).
+    pub fn year_fraction(&self, t: SimTime) -> f64 {
+        let d = self.date_at(t);
+        let doy = d.day_of_year() as f64 + self.hour_of_day(t) as f64 / 24.0;
+        doy / days_in_year(d.year) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2020));
+        assert!(!is_leap_year(2021));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2000));
+        assert_eq!(days_in_month(2020, Month::Feb), 29);
+        assert_eq!(days_in_month(2021, Month::Feb), 28);
+    }
+
+    #[test]
+    fn day_of_year() {
+        assert_eq!(CalDate::new(2020, 1, 1).day_of_year(), 0);
+        assert_eq!(CalDate::new(2020, 3, 1).day_of_year(), 60); // leap Feb
+        assert_eq!(CalDate::new(2021, 3, 1).day_of_year(), 59);
+        assert_eq!(CalDate::new(2020, 12, 31).day_of_year(), 365);
+    }
+
+    #[test]
+    fn plus_days_roundtrip() {
+        let d = CalDate::new(2020, 1, 15);
+        assert_eq!(d.plus_days(31), CalDate::new(2020, 2, 15));
+        assert_eq!(d.plus_days(366), CalDate::new(2021, 1, 15)); // 2020 leap
+        assert_eq!(d.plus_days(-15), CalDate::new(2019, 12, 31));
+        for delta in [-500i64, -1, 0, 1, 59, 366, 730] {
+            let e = d.plus_days(delta);
+            assert_eq!(d.days_until(e), delta);
+        }
+    }
+
+    #[test]
+    fn calendar_dates_and_months() {
+        let cal = Calendar::new(CalDate::new(2020, 1, 1));
+        assert_eq!(cal.date_at(SimTime::ZERO), CalDate::new(2020, 1, 1));
+        assert_eq!(
+            cal.date_at(SimTime::from_days(59)),
+            CalDate::new(2020, 2, 29)
+        );
+        assert_eq!(
+            cal.year_month_at(SimTime::from_days(60)),
+            YearMonth::new(2020, 3)
+        );
+        // 2020 has 366 days so day 366 is Jan 1 2021.
+        assert_eq!(
+            cal.date_at(SimTime::from_days(366)),
+            CalDate::new(2021, 1, 1)
+        );
+    }
+
+    #[test]
+    fn day_of_week_and_weekends() {
+        let cal = Calendar::new(CalDate::new(2020, 1, 1)); // Wednesday
+        assert_eq!(cal.day_of_week(SimTime::ZERO), 2);
+        // 2020-01-04 was a Saturday.
+        assert!(cal.is_weekend(SimTime::from_days(3)));
+        assert!(cal.is_weekend(SimTime::from_days(4)));
+        assert!(!cal.is_weekend(SimTime::from_days(5)));
+    }
+
+    #[test]
+    fn hour_of_day_and_index() {
+        let cal = Calendar::new(CalDate::new(2020, 6, 1));
+        let t = SimTime::from_days(2) + Duration::from_hours(13);
+        assert_eq!(cal.hour_of_day(t), 13);
+        assert_eq!(cal.hour_index_of(CalDate::new(2020, 6, 3)), Some(48));
+        assert_eq!(cal.hour_index_of(CalDate::new(2020, 5, 31)), None);
+    }
+
+    #[test]
+    fn months_until() {
+        let a = YearMonth::new(2020, 11);
+        let b = YearMonth::new(2021, 2);
+        assert_eq!(a.months_until(b), 3);
+        assert_eq!(b.months_until(a), -3);
+        assert_eq!(a.next(), YearMonth::new(2020, 12));
+        assert_eq!(YearMonth::new(2020, 12).next(), YearMonth::new(2021, 1));
+    }
+
+    #[test]
+    fn year_fraction_monotone_within_year() {
+        let cal = Calendar::new(CalDate::new(2021, 1, 1));
+        let mut prev = -1.0;
+        for d in 0..365 {
+            let f = cal.year_fraction(SimTime::from_days(d));
+            assert!(f > prev);
+            assert!((0.0..1.0).contains(&f));
+            prev = f;
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # greener-workload
+//!
+//! AI workload substrate: the users, jobs and demand patterns that drive the
+//! simulated MIT-SuperCloud-like cluster.
+//!
+//! Section III of *"A Green(er) World for A.I."* ties aggregate research
+//! activity — and therefore compute demand and energy — to the distribution
+//! of conference deadlines (Table I, Fig. 5). This crate provides:
+//!
+//! * [`calendar`] — the Table I conference list with 2020–21 deadline dates
+//!   and monthly deadline counts.
+//! * [`job`] — job types (training, hyper-parameter sweeps, inference,
+//!   batch), resource requests and job-size distributions.
+//! * [`users`] — a user population with private urgency / green-preference
+//!   types (the θ of the mechanism-design layer).
+//! * [`demand`] — the non-homogeneous arrival-rate model: diurnal × weekly ×
+//!   seasonal baseline, multiplied by an anticipatory deadline ramp.
+//! * [`trace`] — deterministic NHPP job-trace generation (thinning), so the
+//!   same trace replays under every policy (paired comparisons).
+//! * [`restructure`] — the paper's deadline-restructuring options: uniform
+//!   spread, winter concentration, rolling submissions.
+//! * [`redundancy`] — §IV-A's hyper-parameter-sweep redundancy and
+//!   replication-waste models.
+
+pub mod calendar;
+pub mod demand;
+pub mod job;
+pub mod redundancy;
+pub mod restructure;
+pub mod trace;
+pub mod users;
+
+pub use calendar::{Area, Conference, ConferenceCalendar};
+pub use demand::DemandModel;
+pub use job::{Job, JobId, JobKind, QueueClass, SizeDistribution};
+pub use redundancy::{ReplicationModel, SweepCampaign};
+pub use restructure::DeadlinePolicy;
+pub use trace::{TraceConfig, TraceGenerator};
+pub use users::{UserId, UserPopulation, UserProfile};

@@ -1,0 +1,247 @@
+//! Deterministic job-trace generation.
+//!
+//! Arrivals follow the non-homogeneous Poisson process defined by
+//! [`DemandModel`], sampled exactly by *thinning* (Lewis & Shedler): draw
+//! candidate arrivals from a homogeneous process at the rate upper bound,
+//! accept each with probability `λ(t)/λ_max`. Job attributes are sampled
+//! from [`SizeDistribution`] and the submitting user from the population.
+//!
+//! A trace is a pure function of `(config, calendar, seed)`, so policy
+//! comparisons in `greener-core` replay the *same* trace — the paired-
+//! comparison design that makes small policy effects measurable.
+
+use greener_simkit::calendar::Calendar;
+use greener_simkit::rng::RngHub;
+use greener_simkit::time::SimTime;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::calendar::ConferenceCalendar;
+use crate::demand::{DemandConfig, DemandModel};
+use crate::job::{Job, JobId, QueueClass, SizeDistribution};
+use crate::users::{PopulationConfig, UserPopulation};
+
+/// Everything needed to generate a trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Demand-model parameters.
+    pub demand: DemandConfig,
+    /// Job-size distributions.
+    pub sizes: SizeDistribution,
+    /// User-population parameters.
+    pub population: PopulationConfig,
+    /// Urgency threshold above which users submit to the urgent queue.
+    pub urgent_threshold: f64,
+    /// Green-preference threshold above which deferrable jobs go green.
+    pub green_threshold: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            demand: DemandConfig::default(),
+            sizes: SizeDistribution::default(),
+            population: PopulationConfig::default(),
+            urgent_threshold: 0.75,
+            green_threshold: 0.60,
+        }
+    }
+}
+
+/// Generates job traces.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    config: TraceConfig,
+    demand: DemandModel,
+    population: UserPopulation,
+    calendar: Calendar,
+}
+
+impl TraceGenerator {
+    /// Build a generator for the given conference calendar and sim calendar.
+    pub fn new(
+        config: TraceConfig,
+        conferences: &ConferenceCalendar,
+        calendar: Calendar,
+        hub: &RngHub,
+    ) -> TraceGenerator {
+        let demand = DemandModel::new(config.demand.clone(), conferences, &calendar);
+        let population = UserPopulation::sample(&config.population, hub);
+        TraceGenerator {
+            config,
+            demand,
+            population,
+            calendar,
+        }
+    }
+
+    /// The demand model in use.
+    pub fn demand(&self) -> &DemandModel {
+        &self.demand
+    }
+
+    /// The sampled user population.
+    pub fn population(&self) -> &UserPopulation {
+        &self.population
+    }
+
+    /// Generate the job trace for `hours` of simulated time.
+    pub fn generate(&self, hours: usize, hub: &RngHub) -> Vec<Job> {
+        let mut arr_rng = hub.stream("trace.arrivals");
+        let mut attr_rng = hub.stream("trace.attributes");
+
+        let horizon_secs = hours as f64 * 3_600.0;
+        let lambda_max = self.demand.rate_upper_bound(&self.calendar, hours) / 3_600.0; // per second
+        let mut jobs = Vec::new();
+        let mut t = 0.0f64;
+        let mut next_id = 0u64;
+        if lambda_max <= 0.0 {
+            return jobs;
+        }
+        loop {
+            // Exponential gap at the bounding rate.
+            let u: f64 = arr_rng.gen::<f64>().max(1e-300);
+            t += -u.ln() / lambda_max;
+            if t >= horizon_secs {
+                break;
+            }
+            let st = SimTime(t as u64);
+            let rate = self.demand.rate_at(&self.calendar, st) / 3_600.0;
+            if arr_rng.gen::<f64>() * lambda_max > rate {
+                continue; // thinned out
+            }
+            jobs.push(self.sample_job(JobId(next_id), st, &mut attr_rng));
+            next_id += 1;
+        }
+        jobs
+    }
+
+    /// Sample one job's attributes at a submission instant.
+    fn sample_job<R: Rng>(&self, id: JobId, submit: SimTime, rng: &mut R) -> Job {
+        let sizes = &self.config.sizes;
+        let user = self.population.sample_submitter(rng);
+        let gpus = sizes.sample_gpus(rng);
+        let per_gpu_hours = sizes.sample_runtime_hours(rng);
+        let (deferrable, start_deadline) = sizes.sample_deferral(rng, submit);
+        // Urgent users never defer.
+        let deferrable = deferrable && user.urgency < self.config.urgent_threshold;
+        let queue = if user.urgency >= self.config.urgent_threshold {
+            QueueClass::Urgent
+        } else if deferrable && user.green_preference >= self.config.green_threshold {
+            QueueClass::Green
+        } else {
+            QueueClass::Standard
+        };
+        Job {
+            id,
+            user: user.id,
+            kind: sizes.sample_kind(rng),
+            gpus,
+            work_gpu_hours: per_gpu_hours * gpus as f64,
+            submit,
+            deferrable,
+            start_deadline: if deferrable { start_deadline } else { None },
+            queue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greener_simkit::calendar::CalDate;
+
+    fn generator(seed: u64) -> (TraceGenerator, RngHub) {
+        let hub = RngHub::new(seed);
+        let cal = Calendar::new(CalDate::new(2020, 1, 1));
+        (
+            TraceGenerator::new(
+                TraceConfig::default(),
+                &ConferenceCalendar::table_i(),
+                cal,
+                &hub,
+            ),
+            hub,
+        )
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let (g1, h1) = generator(11);
+        let (g2, h2) = generator(11);
+        let a = g1.generate(30 * 24, &h1);
+        let b = g2.generate(30 * 24, &h2);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn arrivals_sorted_and_within_horizon() {
+        let (g, hub) = generator(12);
+        let hours = 60 * 24;
+        let jobs = g.generate(hours, &hub);
+        assert!(jobs.windows(2).all(|w| w[0].submit <= w[1].submit));
+        assert!(jobs.iter().all(|j| j.submit.secs() < hours as u64 * 3_600));
+        // Ids are sequential.
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, JobId(i as u64));
+        }
+    }
+
+    #[test]
+    fn volume_tracks_expected_rate() {
+        let (g, hub) = generator(13);
+        let hours = 90 * 24;
+        let jobs = g.generate(hours, &hub);
+        let expected: f64 = g.demand().rate_series(g.population_calendar(), hours)
+            .values()
+            .iter()
+            .sum();
+        let n = jobs.len() as f64;
+        assert!(
+            (n / expected - 1.0).abs() < 0.05,
+            "got {n} jobs, expected ≈{expected:.0}"
+        );
+    }
+
+    #[test]
+    fn urgent_users_fill_urgent_queue() {
+        let (g, hub) = generator(14);
+        let jobs = g.generate(45 * 24, &hub);
+        let urgent: Vec<&Job> = jobs.iter().filter(|j| j.queue == QueueClass::Urgent).collect();
+        assert!(!urgent.is_empty());
+        for j in &urgent {
+            let u = g.population().get(j.user).unwrap();
+            assert!(u.urgency >= 0.75);
+            assert!(!j.deferrable, "urgent jobs must not defer");
+        }
+    }
+
+    #[test]
+    fn green_queue_jobs_are_deferrable() {
+        let (g, hub) = generator(15);
+        let jobs = g.generate(45 * 24, &hub);
+        let green: Vec<&Job> = jobs.iter().filter(|j| j.queue == QueueClass::Green).collect();
+        assert!(!green.is_empty(), "expected some green-queue jobs");
+        for j in &green {
+            assert!(j.deferrable);
+            assert!(j.start_deadline.is_some());
+        }
+    }
+
+    #[test]
+    fn work_is_positive_and_finite() {
+        let (g, hub) = generator(16);
+        for j in g.generate(30 * 24, &hub) {
+            assert!(j.work_gpu_hours > 0.0 && j.work_gpu_hours.is_finite());
+            assert!(j.gpus >= 1);
+        }
+    }
+
+    impl TraceGenerator {
+        /// Test helper exposing the calendar.
+        fn population_calendar(&self) -> &Calendar {
+            &self.calendar
+        }
+    }
+}

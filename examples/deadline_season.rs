@@ -1,0 +1,39 @@
+//! The conference-deadline effect (§III, Fig. 5): demand, and therefore
+//! power, picks up ahead of deadline concentrations — and restructuring the
+//! calendar changes the energy profile.
+//!
+//! ```sh
+//! cargo run --release --example deadline_season
+//! ```
+
+use greener_world::core::ablations::e12_restructure;
+use greener_world::core::scenario::Scenario;
+use greener_world::workload::ConferenceCalendar;
+use greener_world::simkit::calendar::YearMonth;
+
+fn main() {
+    let cal = ConferenceCalendar::table_i();
+    println!("=== Table I deadlines per month (2020–21) ===");
+    for (ym, count) in cal.monthly_counts(YearMonth::new(2020, 1), 24) {
+        println!("{ym}  {}", "#".repeat(count));
+    }
+
+    let mut base = Scenario::two_year_small(5).named("deadline-demo");
+    base.horizon_hours = 366 * 24; // calendar year 2020
+    println!("\n=== deadline restructuring options (§III) ===");
+    println!(
+        "{:<16} {:>11} {:>11} {:>12} {:>12} {:>10}",
+        "policy", "energy kWh", "carbon kg", "peak-mo kW", "monthly σ", "wait h"
+    );
+    for row in e12_restructure(&base) {
+        println!(
+            "{:<16} {:>11.0} {:>11.0} {:>12.1} {:>12.2} {:>10.2}",
+            row.policy,
+            row.energy_kwh,
+            row.carbon_kg,
+            row.peak_month_power_kw,
+            row.monthly_power_std_kw,
+            row.mean_wait_hours,
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Mechanism design (§II-C): the two-part cap⇄GPU menu and the adverse
+//! selection failure mode of naive queue segmentation.
+//!
+//! ```sh
+//! cargo run --release --example mechanism_design
+//! ```
+
+use greener_world::mechanism::selection::{ChoiceModel, QueueGame};
+use greener_world::mechanism::twopart::compare_regimes;
+
+fn main() {
+    println!("=== two-part mechanism: base cap + stricter-caps-for-GPUs menu ===");
+    let cmp = compare_regimes(42);
+    println!(
+        "{:<14} {:>14} {:>12} {:>12}",
+        "regime", "energy index", "time factor", "mean utility"
+    );
+    for (name, o) in [
+        ("laissez-faire", &cmp.laissez_faire),
+        ("caps-only", &cmp.caps_only),
+        ("two-part", &cmp.two_part),
+    ] {
+        println!(
+            "{:<14} {:>14.3} {:>12.3} {:>12.3}",
+            name, o.mean_energy_index, o.mean_time_factor, o.mean_utility
+        );
+    }
+    println!(
+        "two-part tier uptake: {:?} (participation {:.0}%)",
+        cmp.two_part.tier_counts,
+        cmp.two_part.participation * 100.0
+    );
+
+    println!("\n=== adverse selection in segmented queues ===");
+    let game = QueueGame::standard(42);
+    for model in [ChoiceModel::Truthful, ChoiceModel::Strategic] {
+        let out = game.solve(model);
+        println!(
+            "{:?}: shares urgent/std/green = {:.2}/{:.2}/{:.2}, waits = {:.1}/{:.1}/{:.1} h",
+            model,
+            out.queue_shares[0],
+            out.queue_shares[1],
+            out.queue_shares[2],
+            out.queue_waits[0],
+            out.queue_waits[1],
+            out.queue_waits[2],
+        );
+    }
+}

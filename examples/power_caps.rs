@@ -1,0 +1,36 @@
+//! Optimal GPU power caps (§II-C, ref [15]): sweep fleet-wide caps and find
+//! the energy-per-work optimum — "an effective way to control energy
+//! consumption with minimal impact on training speed".
+//!
+//! ```sh
+//! cargo run --release --example power_caps
+//! ```
+
+use greener_world::core::ablations::{e7_optimal_cap, e7_powercaps};
+use greener_world::core::scenario::Scenario;
+use greener_world::hpc::GpuModel;
+
+fn main() {
+    let gpu = GpuModel::default();
+    println!("=== analytic GPU curve (V100-like) ===");
+    println!("energy-optimal cap : {:.0} W", gpu.energy_optimal_cap());
+    println!("EDP-optimal cap    : {:.0} W", gpu.edp_optimal_cap());
+
+    let mut base = Scenario::two_year_small(3).named("powercap-demo");
+    base.horizon_hours = 45 * 24;
+    let caps: Vec<f64> = vec![100.0, 125.0, 150.0, 175.0, 200.0, 225.0, 250.0];
+    let rows = e7_powercaps(&base, &caps);
+
+    println!("\n=== measured cap sweep (paired 45-day traces) ===");
+    println!(
+        "{:<8} {:>7} {:>14} {:>12} {:>16} {:>9}",
+        "cap W", "speed", "IT energy kWh", "GPU-hours", "kWh/GPU-hour", "stretch"
+    );
+    for r in &rows {
+        println!(
+            "{:<8.0} {:>7.2} {:>14.0} {:>12.0} {:>16.3} {:>9.2}",
+            r.cap_w, r.speed, r.it_energy_kwh, r.gpu_hours, r.kwh_per_gpu_hour, r.runtime_stretch
+        );
+    }
+    println!("\nmeasured optimal cap: {:.0} W", e7_optimal_cap(&rows));
+}

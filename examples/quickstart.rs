@@ -1,0 +1,33 @@
+//! Quickstart: simulate two weeks of the datacenter and print the energy,
+//! carbon and service picture.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use greener_world::core::accounting::AccountingReport;
+use greener_world::core::driver::SimDriver;
+use greener_world::core::scenario::Scenario;
+
+fn main() {
+    // A reproducible world: one seed determines weather, grid and workload.
+    let scenario = Scenario::quick(14, 2024).named("quickstart");
+    let run = SimDriver::run(&scenario);
+    let report = AccountingReport::from_run(&run);
+
+    println!("=== greener quickstart: {} ===", run.scenario_name);
+    println!("jobs submitted     : {}", run.jobs.submitted);
+    println!("jobs completed     : {}", run.jobs.completed);
+    println!("mean queue wait    : {:.2} h", run.jobs.mean_wait_hours);
+    println!("GPU-hours done     : {:.0}", run.jobs.gpu_hours_completed);
+    println!("energy purchased   : {:.0} kWh", report.energy_kwh);
+    println!("carbon emitted     : {:.0} kg CO2", report.carbon_kg);
+    println!("energy cost        : ${:.0}", report.cost_usd);
+    println!("cooling water      : {:.0} L", report.water_l);
+    println!("mean facility PUE  : {:.3}", report.mean_pue);
+    println!(
+        "carbon opportunity : {:.0} kg CO2 ({:.1}% of total) recoverable by retiming",
+        report.carbon_opportunity_kg,
+        100.0 * report.carbon_opportunity_kg / report.carbon_kg
+    );
+}

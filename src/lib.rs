@@ -1,0 +1,18 @@
+//! # greener-world
+//!
+//! Facade crate for the `greener` workspace — a Rust reproduction of
+//! *"A Green(er) World for A.I."* (IPDPSW 2022). It re-exports every
+//! sub-crate so the examples and integration tests can use one dependency.
+//!
+//! See `greener_core` for the main entry points ([`core::scenario::Scenario`]
+//! and [`core::driver::SimDriver`]).
+
+pub use greener_climate as climate;
+pub use greener_core as core;
+pub use greener_forecast as forecast;
+pub use greener_grid as grid;
+pub use greener_hpc as hpc;
+pub use greener_mechanism as mechanism;
+pub use greener_sched as sched;
+pub use greener_simkit as simkit;
+pub use greener_workload as workload;

@@ -1,0 +1,134 @@
+//! Integration test: the paper's figures reproduce their published shapes
+//! on the 1/10-scale two-year world (same weather/grid/calendar as the
+//! flagship scenario; only the cluster and demand are scaled).
+
+use greener_world::core::driver::{RunResult, SimDriver};
+use greener_world::core::experiments::{fig1, fig2, fig3, fig4, fig5, table1};
+use greener_world::core::scenario::Scenario;
+use greener_world::workload::ConferenceCalendar;
+
+fn two_year_run() -> RunResult {
+    SimDriver::run(&Scenario::two_year_small(20220101))
+}
+
+#[test]
+fn fig1_two_era_kink() {
+    let f = fig1();
+    // Paper (OpenAI): ~2-year doubling before 2012, ~3.4 months after.
+    assert!((15.0..36.0).contains(&f.doubling_before_months));
+    assert!((1.5..9.0).contains(&f.doubling_after_months));
+    assert!(f.doubling_before_months / f.doubling_after_months > 4.0);
+}
+
+#[test]
+fn figures_2_to_5_reproduce_published_shapes() {
+    // One shared 2-year run for all monthly figures (several minutes of
+    // debug-mode CPU if repeated — share it).
+    let run = two_year_run();
+
+    // ---- Fig. 2: power vs. green share — inverse relationship. ----
+    let f2 = fig2(&run);
+    assert_eq!(f2.rows.len(), 24, "Jan 2020 – Dec 2021");
+    assert!(
+        f2.correlation < -0.25,
+        "power↔green must be inverse, r = {:.2}",
+        f2.correlation
+    );
+    // Summer power high while summer green share low (the paper's
+    // "mismatch": high consumption when green production is low).
+    let summer_green: f64 = f2
+        .rows
+        .iter()
+        .filter(|r| (6..=8).contains(&r.ym.month.number()))
+        .map(|r| r.green_pct)
+        .sum::<f64>()
+        / 6.0;
+    let spring_green: f64 = f2
+        .rows
+        .iter()
+        .filter(|r| (3..=5).contains(&r.ym.month.number()))
+        .map(|r| r.green_pct)
+        .sum::<f64>()
+        / 6.0;
+    assert!(
+        spring_green > summer_green + 1.5,
+        "spring {spring_green:.1}% vs summer {summer_green:.1}%"
+    );
+
+    // ---- Fig. 3: price vs. green share — cheap when green. ----
+    let f3 = fig3(&run);
+    assert!(
+        f3.correlation < -0.15,
+        "price↔green must be inverse, r = {:.2}",
+        f3.correlation
+    );
+    assert!(
+        (15.0..30.0).contains(&f3.spring_mean_price),
+        "spring LMP {:.1} $/MWh (paper: $20–25)",
+        f3.spring_mean_price
+    );
+
+    // ---- Fig. 4: power vs. temperature — near one-to-one. ----
+    let f4 = fig4(&run);
+    assert!(
+        f4.spearman > 0.75,
+        "paper: 'near one-to-one relationship'; got ρ = {:.2}",
+        f4.spearman
+    );
+    // Warmest month draws meaningfully more power than the coldest.
+    let mut by_temp = f4.rows.clone();
+    by_temp.sort_by(|a, b| a.temp_f.partial_cmp(&b.temp_f).unwrap());
+    let coldest = &by_temp[0];
+    let hottest = &by_temp[by_temp.len() - 1];
+    assert!(
+        hottest.power_kw > coldest.power_kw * 1.15,
+        "cooling effect: {:.0} kW at {:.0}F vs {:.0} kW at {:.0}F",
+        hottest.power_kw,
+        hottest.temp_f,
+        coldest.power_kw,
+        coldest.temp_f
+    );
+
+    // ---- Fig. 5: energy leads deadline concentrations. ----
+    let f5 = fig5(&run, &ConferenceCalendar::table_i());
+    assert_eq!(f5.rows.len(), 24);
+    assert!(
+        f5.lead_months >= 1,
+        "power should lead deadlines by ≥1 month, got {}",
+        f5.lead_months
+    );
+    assert!(
+        f5.lead_correlation > 0.2,
+        "lead correlation {:.2}",
+        f5.lead_correlation
+    );
+    // The sharper Jan/Feb-2021 pickup vs. the same period in 2020: the
+    // rise out of January is steeper ahead of the spring-2021 deadline
+    // concentration.
+    assert!(
+        f5.pickup_2021_kw > f5.pickup_2020_kw,
+        "2021 pickup {:.2} kW should exceed 2020 pickup {:.2} kW",
+        f5.pickup_2021_kw,
+        f5.pickup_2020_kw
+    );
+}
+
+#[test]
+fn table1_matches_paper_inventory() {
+    let t = table1();
+    let labels: Vec<&str> = t.rows.iter().map(|(a, _)| *a).collect();
+    assert_eq!(
+        labels,
+        vec![
+            "NLP/Speech",
+            "Computer Vision",
+            "Robotics",
+            "General ML",
+            "Data Mining"
+        ]
+    );
+    let all: Vec<&str> = t.rows.iter().flat_map(|(_, c)| c.iter().copied()).collect();
+    for name in ["NeurIPS", "ICLR", "AAAI", "KDD", "ICRA", "ICCV", "EMNLP", "ICASSP"] {
+        assert!(all.contains(&name), "Table I missing {name}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration test: the paper's energy-aware interventions behave as
+//! argued, end-to-end across crates and on paired traces.
+
+use greener_world::core::ablations::{
+    e13_inference, e14_variance, e6_purchasing, e8_mechanism, e9_adverse_selection,
+};
+use greener_world::core::driver::SimDriver;
+use greener_world::core::optimize::{
+    ActivityMeasure, Eq1Problem, Eq2Decomposition, EnergyObjective,
+};
+use greener_world::core::scenario::Scenario;
+use greener_world::sched::PolicyKind;
+
+fn spring_quarter(seed: u64) -> Scenario {
+    let mut s = Scenario::two_year_small(seed);
+    s.horizon_hours = 91 * 24; // Jan–Mar 2020
+    s
+}
+
+#[test]
+fn carbon_aware_shifting_saves_carbon_with_bounded_delay() {
+    let base = spring_quarter(71);
+    let baseline = SimDriver::run(&base);
+    let shifted = SimDriver::run(&base.clone().with_policy(PolicyKind::CarbonAware {
+        green_threshold: 0.065,
+    }));
+    // Paired traces: identical workloads.
+    assert_eq!(baseline.jobs.submitted, shifted.jobs.submitted);
+    // Purchases move toward greener hours…
+    assert!(
+        shifted.ledger.energy_weighted_green_share()
+            > baseline.ledger.energy_weighted_green_share(),
+        "shifting must green the purchases"
+    );
+    // …at a bounded service cost.
+    assert!(shifted.jobs.mean_wait_hours < baseline.jobs.mean_wait_hours + 12.0);
+}
+
+#[test]
+fn purchasing_strategies_improve_green_share() {
+    let rows = e6_purchasing(&spring_quarter(72));
+    let baseline = &rows[0];
+    for row in &rows[1..] {
+        assert!(
+            row.green_share > baseline.green_share - 1e-12,
+            "{} green share {:.4} vs baseline {:.4}",
+            row.strategy,
+            row.green_share,
+            baseline.green_share
+        );
+    }
+    // The combined strategy is at least as green as either alone.
+    let combined = rows.iter().find(|r| r.strategy == "shift+storage").unwrap();
+    assert!(combined.green_share >= baseline.green_share);
+}
+
+#[test]
+fn static_caps_trade_energy_for_runtime() {
+    let base = spring_quarter(73);
+    let nominal = SimDriver::run(&base);
+    let capped = SimDriver::run(
+        &base
+            .clone()
+            .with_policy(PolicyKind::StaticCap { cap_w: 150.0 }),
+    );
+    let it = |r: &greener_world::core::driver::RunResult| -> f64 {
+        r.telemetry.frames().iter().map(|f| f.it_power_w).sum()
+    };
+    assert!(it(&capped) < it(&nominal) * 0.95, "caps must cut IT energy");
+    assert!(
+        capped.jobs.mean_slowdown >= nominal.jobs.mean_slowdown,
+        "caps cannot speed jobs up"
+    );
+}
+
+#[test]
+fn eq1_grid_search_is_feasible_and_paired() {
+    let problem = Eq1Problem {
+        base: {
+            let mut s = Scenario::quick(10, 74);
+            s.trace.demand.base_rate_per_hour = 0.5;
+            s
+        },
+        objective: EnergyObjective::CarbonKg,
+        activity: ActivityMeasure::JobsCompleted,
+        alpha: 1.0,
+    };
+    let (cells, best) = problem.grid_search(
+        &[0.5, 1.0],
+        &[PolicyKind::EasyBackfill, PolicyKind::TempAware],
+    );
+    assert_eq!(cells.len(), 4);
+    let best = best.expect("a feasible point exists");
+    assert!(best.feasible);
+    assert!(cells
+        .iter()
+        .filter(|c| c.feasible)
+        .all(|c| best.energy <= c.energy + 1e-9));
+}
+
+#[test]
+fn eq2_decomposition_aggregates_exactly() {
+    let run = SimDriver::run(&Scenario::quick(10, 75));
+    let dec = Eq2Decomposition::from_run(&run);
+    dec.check_identities().expect("Σe_i = E and Σa_i = A");
+    assert!(dec.overhead_fraction() > 0.0);
+}
+
+#[test]
+fn mechanisms_reproduce_section_ii_c() {
+    let cmp = e8_mechanism(76);
+    assert!(cmp.two_part.mean_energy_index < cmp.laissez_faire.mean_energy_index);
+    assert!(cmp.two_part.mean_utility >= cmp.caps_only.mean_utility);
+
+    let adverse = e9_adverse_selection(77);
+    assert!(adverse.strategic.queue_shares[0] > adverse.truthful.queue_shares[0]);
+    assert!(adverse.strategic.queue_shares[2] < adverse.truthful.queue_shares[2]);
+}
+
+#[test]
+fn inference_and_variance_match_section_iv() {
+    let e13 = e13_inference(512, 64);
+    assert!((0.7..0.95).contains(&e13.inference_energy_share));
+    assert!((0.10..0.30).contains(&e13.inference_utilization));
+
+    let e14 = e14_variance(1.0e6);
+    assert!(e14.spread > 1e4, "estimate spread {:.0}x", e14.spread);
+}
