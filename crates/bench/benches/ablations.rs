@@ -50,7 +50,9 @@ fn bench_analytic(c: &mut Criterion) {
     c.bench_function("e13_inference_fleet", |b| {
         b.iter(|| black_box(e13_inference(512, 64)))
     });
-    c.bench_function("e14_variance", |b| b.iter(|| black_box(e14_variance(1.0e6))));
+    c.bench_function("e14_variance", |b| {
+        b.iter(|| black_box(e14_variance(1.0e6)))
+    });
 }
 
 criterion_group! {

@@ -38,9 +38,9 @@ fn bench_world(c: &mut Criterion) {
     let mut g = c.benchmark_group("world");
     g.sample_size(10);
     g.bench_function("weather_2y", |b| {
-        let cal = greener_simkit::calendar::Calendar::new(
-            greener_simkit::calendar::CalDate::new(2020, 1, 1),
-        );
+        let cal = greener_simkit::calendar::Calendar::new(greener_simkit::calendar::CalDate::new(
+            2020, 1, 1,
+        ));
         let hub = RngHub::new(1);
         b.iter(|| {
             black_box(greener_climate::WeatherPath::generate(
@@ -57,6 +57,12 @@ fn bench_world(c: &mut Criterion) {
     });
     g.bench_function("driver_small_2y", |b| {
         let s = Scenario::two_year_small(greener_bench::seeds::WORLD);
+        b.iter(|| black_box(SimDriver::run(&s)))
+    });
+    // Saturated queue: thousands of waiting jobs, so every dispatch
+    // stresses signal building and queue application end to end.
+    g.bench_function("dispatch_heavy_90d", |b| {
+        let s = greener_bench::scenarios::dispatch_heavy_90d(greener_bench::seeds::WORLD);
         b.iter(|| black_box(SimDriver::run(&s)))
     });
     g.finish();

@@ -1,0 +1,90 @@
+//! Emit a machine-readable engine-performance snapshot (`BENCH_engine.json`).
+//!
+//! ```sh
+//! cargo run --release -p greener-bench --bin perfjson            # writes BENCH_engine.json
+//! cargo run --release -p greener-bench --bin perfjson -- -       # prints to stdout only
+//! ```
+//!
+//! Times the three canonical engine scenarios — `driver_quick_30d`,
+//! `driver_small_2y` and the saturated-queue `dispatch_heavy_90d` — and
+//! records runs/sec plus per-run wall time so future PRs have a perf
+//! trajectory to compare against. JSON is hand-formatted (the vendored
+//! serde stand-in has no serializer).
+
+use greener_bench::scenarios::dispatch_heavy_90d;
+use greener_core::driver::SimDriver;
+use greener_core::scenario::Scenario;
+use std::time::Instant;
+
+struct Measurement {
+    name: &'static str,
+    runs: usize,
+    secs_per_run: f64,
+    completed_jobs: usize,
+}
+
+fn time_scenario(
+    name: &'static str,
+    s: &Scenario,
+    min_runs: usize,
+    budget_secs: f64,
+) -> Measurement {
+    // Warm-up run (also yields the job count for a sanity column).
+    let completed = SimDriver::run(s).jobs.completed;
+    let started = Instant::now();
+    let mut runs = 0usize;
+    while runs < min_runs || (started.elapsed().as_secs_f64() < budget_secs && runs < 50) {
+        std::hint::black_box(SimDriver::run(s));
+        runs += 1;
+    }
+    let secs_per_run = started.elapsed().as_secs_f64() / runs as f64;
+    eprintln!("[perfjson] {name}: {secs_per_run:.3} s/run ({runs} runs, {completed} jobs)");
+    Measurement {
+        name,
+        runs,
+        secs_per_run,
+        completed_jobs: completed,
+    }
+}
+
+fn main() {
+    let to_stdout = std::env::args().nth(1).as_deref() == Some("-");
+
+    let measurements = [
+        time_scenario("driver_quick_30d", &Scenario::quick(30, 3), 3, 3.0),
+        time_scenario(
+            "driver_small_2y",
+            &Scenario::two_year_small(greener_bench::seeds::WORLD),
+            3,
+            10.0,
+        ),
+        time_scenario(
+            "dispatch_heavy_90d",
+            &dispatch_heavy_90d(greener_bench::seeds::WORLD),
+            3,
+            10.0,
+        ),
+    ];
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"secs_per_run\": {:.6}, \"runs_per_sec\": {:.6}, \"runs\": {}, \"completed_jobs\": {}}}{}\n",
+            m.name,
+            m.secs_per_run,
+            1.0 / m.secs_per_run,
+            m.runs,
+            m.completed_jobs,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if to_stdout {
+        print!("{json}");
+    } else {
+        std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+        print!("{json}");
+        eprintln!("[perfjson] wrote BENCH_engine.json");
+    }
+}

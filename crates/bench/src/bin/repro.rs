@@ -48,7 +48,12 @@ fn main() {
             println!("== Fig. 2: power consumption vs. green fuel mix ==");
             println!("{:<10} {:>12} {:>16}", "month", "avg kW", "% solar/wind");
             for r in &f.rows {
-                println!("{:<10} {:>12.1} {:>16.2}", r.ym.to_string(), r.power_kw, r.green_pct);
+                println!(
+                    "{:<10} {:>12.1} {:>16.2}",
+                    r.ym.to_string(),
+                    r.power_kw,
+                    r.green_pct
+                );
             }
             println!("pearson(power, green) = {:.3}\n", f.correlation);
         }
@@ -57,7 +62,12 @@ fn main() {
             println!("== Fig. 3: energy prices vs. green fuel mix ==");
             println!("{:<10} {:>12} {:>16}", "month", "LMP $/MWh", "% solar/wind");
             for r in &f.rows {
-                println!("{:<10} {:>12.1} {:>16.2}", r.ym.to_string(), r.lmp_usd_mwh, r.green_pct);
+                println!(
+                    "{:<10} {:>12.1} {:>16.2}",
+                    r.ym.to_string(),
+                    r.lmp_usd_mwh,
+                    r.green_pct
+                );
             }
             println!(
                 "pearson(price, green) = {:.3}; spring (Feb–May) mean ${:.1}/MWh\n",
@@ -69,7 +79,12 @@ fn main() {
             println!("== Fig. 4: power consumption vs. temperature ==");
             println!("{:<10} {:>12} {:>10}", "month", "avg kW", "temp °F");
             for r in &f.rows {
-                println!("{:<10} {:>12.1} {:>10.1}", r.ym.to_string(), r.power_kw, r.temp_f);
+                println!(
+                    "{:<10} {:>12.1} {:>10.1}",
+                    r.ym.to_string(),
+                    r.power_kw,
+                    r.temp_f
+                );
             }
             println!(
                 "spearman(temp, power) = {:.3}; pearson = {:.3}\n",
@@ -160,10 +175,18 @@ fn main() {
         for r in &rows {
             println!(
                 "{:<8.0} {:>7.2} {:>13.0} {:>11.0} {:>14.3} {:>9.2}",
-                r.cap_w, r.speed, r.it_energy_kwh, r.gpu_hours, r.kwh_per_gpu_hour, r.runtime_stretch
+                r.cap_w,
+                r.speed,
+                r.it_energy_kwh,
+                r.gpu_hours,
+                r.kwh_per_gpu_hour,
+                r.runtime_stretch
             );
         }
-        println!("measured energy-optimal cap: {:.0} W\n", e7_optimal_cap(&rows));
+        println!(
+            "measured energy-optimal cap: {:.0} W\n",
+            e7_optimal_cap(&rows)
+        );
     }
 
     if want("e8") {
@@ -225,7 +248,10 @@ fn main() {
         println!("== E11 (§II-C): predictive analytics ==");
         let rep = e11_forecast(&quarter);
         println!("green-share forecasters (24 h horizon, rolling backtest):");
-        println!("{:<16} {:>10} {:>10} {:>9}", "model", "MAE", "RMSE", "sMAPE %");
+        println!(
+            "{:<16} {:>10} {:>10} {:>9}",
+            "model", "MAE", "RMSE", "sMAPE %"
+        );
         for b in &rep.green_share_backtests {
             println!(
                 "{:<16} {:>10.5} {:>10.5} {:>9.2}",

@@ -209,7 +209,9 @@ mod tests {
         };
         let mut rng = RngHub::new(5).stream("events");
         let events = ExtremeEvent::sample_episodes(&config, cal(), 2 * 366 * 24, &mut rng);
-        assert!(events.windows(2).all(|w| w[0].start_hour <= w[1].start_hour));
+        assert!(events
+            .windows(2)
+            .all(|w| w[0].start_hour <= w[1].start_hour));
     }
 
     #[test]

@@ -29,9 +29,7 @@ pub const BOSTON_TEMP_NORMALS_F: [f64; 12] = [
 /// is strongest in winter/early spring and weakest in mid-summer, which is
 /// what makes the ISO-NE green share *low* exactly when cooling demand is
 /// high (the Fig. 2 mismatch).
-pub const WIND_NORMALS_MS: [f64; 12] = [
-    7.1, 8.3, 8.5, 8.2, 7.4, 5.6, 5.2, 5.3, 5.9, 6.7, 7.2, 6.9,
-];
+pub const WIND_NORMALS_MS: [f64; 12] = [7.1, 8.3, 8.5, 8.2, 7.4, 5.6, 5.2, 5.3, 5.9, 6.7, 7.2, 6.9];
 
 /// Monthly mean cloud-cover normals in [0,1] (Jan..Dec).
 pub const CLOUD_NORMALS: [f64; 12] = [
@@ -39,9 +37,8 @@ pub const CLOUD_NORMALS: [f64; 12] = [
 ];
 
 /// Diurnal temperature half-amplitude by month, °F.
-pub const DIURNAL_AMPLITUDE_F: [f64; 12] = [
-    5.0, 5.5, 6.5, 7.5, 8.0, 8.5, 8.5, 8.0, 7.5, 7.0, 5.5, 5.0,
-];
+pub const DIURNAL_AMPLITUDE_F: [f64; 12] =
+    [5.0, 5.5, 6.5, 7.5, 8.0, 8.5, 8.5, 8.0, 7.5, 7.0, 5.5, 5.0];
 
 /// Configuration of the weather generator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -242,7 +239,7 @@ pub fn wind_capacity_factor(wind_ms: f64) -> f64 {
     const CUT_IN: f64 = 3.0;
     const RATED: f64 = 12.0;
     const CUT_OUT: f64 = 25.0;
-    if wind_ms < CUT_IN || wind_ms > CUT_OUT {
+    if !(CUT_IN..=CUT_OUT).contains(&wind_ms) {
         0.0
     } else if wind_ms >= RATED {
         1.0
@@ -360,8 +357,8 @@ mod tests {
             366 * 24,
             &RngHub::new(5),
         );
-        let dmean = greener_simkit::stats::mean(&warm.temp_f)
-            - greener_simkit::stats::mean(&base.temp_f);
+        let dmean =
+            greener_simkit::stats::mean(&warm.temp_f) - greener_simkit::stats::mean(&base.temp_f);
         // +2°C == +3.6°F.
         assert!((dmean - 3.6).abs() < 0.2, "mean shift {dmean:.2}");
     }
@@ -370,8 +367,8 @@ mod tests {
     fn wind_is_seasonal_and_nonnegative() {
         let path = year_path(11);
         assert!(path.wind_ms.iter().all(|&w| w >= 0.0));
-        let rows = HourlySeries::from_values(cal2020(), path.wind_ms.clone())
-            .monthly(MonthlyAgg::Mean);
+        let rows =
+            HourlySeries::from_values(cal2020(), path.wind_ms.clone()).monthly(MonthlyAgg::Mean);
         // Winter (Jan) windier than mid-summer (Jul).
         assert!(
             rows[0].value > rows[6].value + 1.0,

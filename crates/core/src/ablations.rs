@@ -327,7 +327,8 @@ pub fn e13_inference(inference_gpus: u32, training_gpus: u32) -> E13Report {
     for hod in 0..24u32 {
         let u = svc.utilization_at(hod);
         inf_util_sum += u;
-        inf_energy += inference_gpus as f64 * gpu.power_at(gpu.nominal_power_w, u).value() / 1_000.0;
+        inf_energy +=
+            inference_gpus as f64 * gpu.power_at(gpu.nominal_power_w, u).value() / 1_000.0;
         inf_useful += inference_gpus as f64 * u;
         train_energy +=
             training_gpus as f64 * gpu.power_at(gpu.nominal_power_w, train_util).value() / 1_000.0;

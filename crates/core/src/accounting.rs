@@ -144,18 +144,14 @@ impl FootprintAssumptions {
     /// the reference GPU, under these assumptions.
     pub fn estimate_carbon(&self, reference_gpu_hours: f64) -> KgCo2 {
         let device_hours = reference_gpu_hours / self.relative_speed;
-        let energy = Energy::from_kwh(
-            device_hours * self.accelerator_power_w / 1_000.0 * self.pue,
-        );
+        let energy = Energy::from_kwh(device_hours * self.accelerator_power_w / 1_000.0 * self.pue);
         energy.carbon_at(self.grid_ci_kg_mwh) * self.search_multiplier
     }
 
     /// Estimated cost at a given electricity price.
     pub fn estimate_cost(&self, reference_gpu_hours: f64, usd_per_mwh: f64) -> Dollars {
         let device_hours = reference_gpu_hours / self.relative_speed;
-        let energy = Energy::from_kwh(
-            device_hours * self.accelerator_power_w / 1_000.0 * self.pue,
-        );
+        let energy = Energy::from_kwh(device_hours * self.accelerator_power_w / 1_000.0 * self.pue);
         energy.cost_at(usd_per_mwh) * self.search_multiplier
     }
 }
@@ -192,7 +188,10 @@ impl VarianceAnalysis {
                 (s.label.clone(), kg, kg / CAR_LIFETIME_KG)
             })
             .collect();
-        let max = estimates.iter().map(|e| e.1).fold(f64::NEG_INFINITY, f64::max);
+        let max = estimates
+            .iter()
+            .map(|e| e.1)
+            .fold(f64::NEG_INFINITY, f64::max);
         let min = estimates.iter().map(|e| e.1).fold(f64::INFINITY, f64::min);
         VarianceAnalysis {
             reference_gpu_hours,
@@ -241,13 +240,13 @@ mod tests {
         // Paper: estimates range "from as high as 5x the average lifetime
         // emissions of a car to as low as 10⁻⁵ times that amount" — a
         // many-orders-of-magnitude spread.
-        assert!(
-            v.spread > 1e4,
-            "assumption spread only {:.1}x",
-            v.spread
-        );
+        assert!(v.spread > 1e4, "assumption spread only {:.1}x", v.spread);
         // Pessimistic estimate is car-scale or worse.
-        assert!(v.estimates[0].2 > 5.0, "worst case {}x car", v.estimates[0].2);
+        assert!(
+            v.estimates[0].2 > 5.0,
+            "worst case {}x car",
+            v.estimates[0].2
+        );
         // Optimistic estimate is a tiny fraction of a car.
         assert!(v.estimates[2].2 < 0.1);
     }

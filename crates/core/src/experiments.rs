@@ -219,7 +219,10 @@ pub fn fig5(run: &RunResult, calendar: &ConferenceCalendar) -> Fig5 {
         .telemetry
         .series_of(|f| f.it_power_w / 1_000.0)
         .monthly(greener_simkit::series::MonthlyAgg::Mean);
-    let start = power.first().map(|r| r.ym).unwrap_or(YearMonth::new(2020, 1));
+    let start = power
+        .first()
+        .map(|r| r.ym)
+        .unwrap_or(YearMonth::new(2020, 1));
     let counts = calendar.monthly_counts(start, power.len());
     let rows: Vec<Fig5Row> = power
         .iter()

@@ -106,7 +106,9 @@ impl Eq1Problem {
     /// Evaluate one decision point (paired trace: the seed is shared).
     pub fn evaluate(&self, point: DecisionPoint) -> EvaluatedPoint {
         let mut scenario = self.base.clone().with_policy(point.policy);
-        let nodes = (self.base.cluster.nodes as f64 * point.qs_mult).round().max(1.0) as u32;
+        let nodes = (self.base.cluster.nodes as f64 * point.qs_mult)
+            .round()
+            .max(1.0) as u32;
         scenario.cluster.nodes = nodes;
         let run = SimDriver::run(&scenario);
         let energy = self.objective.of(&run);
@@ -202,16 +204,9 @@ impl Eq2Decomposition {
     pub fn check_identities(&self) -> Result<(), String> {
         let e_sum: f64 = self.shares.iter().map(|s| s.energy_kwh).sum();
         if (e_sum - self.total_energy_kwh).abs() > 1e-6 * self.total_energy_kwh.max(1.0) {
-            return Err(format!(
-                "Σe_i = {e_sum} but E = {}",
-                self.total_energy_kwh
-            ));
+            return Err(format!("Σe_i = {e_sum} but E = {}", self.total_energy_kwh));
         }
-        let a_sum: f64 = self
-            .shares
-            .iter()
-            .map(|s| s.activity_gpu_hours)
-            .sum();
+        let a_sum: f64 = self.shares.iter().map(|s| s.activity_gpu_hours).sum();
         if (a_sum - self.total_activity).abs() > 1e-6 * self.total_activity.max(1.0) {
             return Err(format!("Σa_i = {a_sum} but A = {}", self.total_activity));
         }
@@ -256,7 +251,10 @@ mod tests {
         let problem = quick_problem();
         let (cells, best) = problem.grid_search(
             &[0.75, 1.0],
-            &[PolicyKind::EasyBackfill, PolicyKind::StaticCap { cap_w: 150.0 }],
+            &[
+                PolicyKind::EasyBackfill,
+                PolicyKind::StaticCap { cap_w: 150.0 },
+            ],
         );
         assert_eq!(cells.len(), 4);
         let best = best.expect("α=0 means everything is feasible");
@@ -282,8 +280,12 @@ mod tests {
     #[test]
     fn activity_floor_excludes_starved_cells() {
         // Demand a decent activity floor: the tiny 0.25x cluster should
-        // complete less work than the 1.0x one.
-        let problem = quick_problem();
+        // complete less work than the 1.0x one. The default quick workload
+        // is light enough for even the small cluster to finish everything
+        // (making the comparison float noise), so saturate it: at 4 jobs/h
+        // the 8-GPU cell starves while the 32-GPU cell keeps up.
+        let mut problem = quick_problem();
+        problem.base.trace.demand.base_rate_per_hour = 4.0;
         let small = problem.evaluate(DecisionPoint {
             qs_mult: 0.25,
             policy: PolicyKind::EasyBackfill,

@@ -29,32 +29,136 @@ pub const ERA_BREAK_YEAR: f64 = 2012.0;
 /// are the published estimates, petaflop/s-days; pre-2012 entries are the
 /// small classical systems that define the Moore's-law era).
 pub const LANDMARK_SYSTEMS: [LandmarkSystem; 26] = [
-    LandmarkSystem { name: "Perceptron", year: 1958.0, pfs_days: 1.0e-13 },
-    LandmarkSystem { name: "ADALINE", year: 1960.0, pfs_days: 2.5e-13 },
-    LandmarkSystem { name: "Neocognitron", year: 1980.0, pfs_days: 6.0e-11 },
-    LandmarkSystem { name: "NetTalk", year: 1987.0, pfs_days: 1.0e-9 },
-    LandmarkSystem { name: "ALVINN", year: 1989.0, pfs_days: 2.0e-9 },
-    LandmarkSystem { name: "TD-Gammon", year: 1992.0, pfs_days: 7.0e-9 },
-    LandmarkSystem { name: "LeNet-5", year: 1998.0, pfs_days: 8.0e-8 },
-    LandmarkSystem { name: "Deep Belief Nets", year: 2006.0, pfs_days: 3.0e-6 },
-    LandmarkSystem { name: "RNN for speech", year: 2009.0, pfs_days: 6.0e-5 },
-    LandmarkSystem { name: "Feedforward NN (2010)", year: 2010.5, pfs_days: 2.0e-4 },
-    LandmarkSystem { name: "KSH (pre-AlexNet)", year: 2011.5, pfs_days: 2.0e-3 },
-    LandmarkSystem { name: "AlexNet", year: 2012.4, pfs_days: 4.7e-3 },
-    LandmarkSystem { name: "Dropout", year: 2012.8, pfs_days: 2.0e-3 },
-    LandmarkSystem { name: "Visualizing CNNs", year: 2013.2, pfs_days: 6.0e-3 },
-    LandmarkSystem { name: "DQN", year: 2013.9, pfs_days: 4.0e-3 },
-    LandmarkSystem { name: "GoogLeNet", year: 2014.7, pfs_days: 1.6e-2 },
-    LandmarkSystem { name: "VGG", year: 2014.7, pfs_days: 9.0e-2 },
-    LandmarkSystem { name: "Seq2Seq", year: 2014.9, pfs_days: 7.0e-2 },
-    LandmarkSystem { name: "ResNet-152", year: 2015.9, pfs_days: 2.2e-1 },
-    LandmarkSystem { name: "DeepSpeech2", year: 2015.9, pfs_days: 2.5e-1 },
-    LandmarkSystem { name: "Xception", year: 2016.8, pfs_days: 4.5e-1 },
-    LandmarkSystem { name: "Neural Machine Translation", year: 2016.7, pfs_days: 9.0e-1 },
-    LandmarkSystem { name: "Neural Architecture Search", year: 2017.4, pfs_days: 2.0e2 },
-    LandmarkSystem { name: "AlphaGo Zero", year: 2017.8, pfs_days: 1.9e3 },
-    LandmarkSystem { name: "AlphaZero", year: 2017.95, pfs_days: 3.6e2 },
-    LandmarkSystem { name: "GPT-3", year: 2020.4, pfs_days: 3.6e3 },
+    LandmarkSystem {
+        name: "Perceptron",
+        year: 1958.0,
+        pfs_days: 1.0e-13,
+    },
+    LandmarkSystem {
+        name: "ADALINE",
+        year: 1960.0,
+        pfs_days: 2.5e-13,
+    },
+    LandmarkSystem {
+        name: "Neocognitron",
+        year: 1980.0,
+        pfs_days: 6.0e-11,
+    },
+    LandmarkSystem {
+        name: "NetTalk",
+        year: 1987.0,
+        pfs_days: 1.0e-9,
+    },
+    LandmarkSystem {
+        name: "ALVINN",
+        year: 1989.0,
+        pfs_days: 2.0e-9,
+    },
+    LandmarkSystem {
+        name: "TD-Gammon",
+        year: 1992.0,
+        pfs_days: 7.0e-9,
+    },
+    LandmarkSystem {
+        name: "LeNet-5",
+        year: 1998.0,
+        pfs_days: 8.0e-8,
+    },
+    LandmarkSystem {
+        name: "Deep Belief Nets",
+        year: 2006.0,
+        pfs_days: 3.0e-6,
+    },
+    LandmarkSystem {
+        name: "RNN for speech",
+        year: 2009.0,
+        pfs_days: 6.0e-5,
+    },
+    LandmarkSystem {
+        name: "Feedforward NN (2010)",
+        year: 2010.5,
+        pfs_days: 2.0e-4,
+    },
+    LandmarkSystem {
+        name: "KSH (pre-AlexNet)",
+        year: 2011.5,
+        pfs_days: 2.0e-3,
+    },
+    LandmarkSystem {
+        name: "AlexNet",
+        year: 2012.4,
+        pfs_days: 4.7e-3,
+    },
+    LandmarkSystem {
+        name: "Dropout",
+        year: 2012.8,
+        pfs_days: 2.0e-3,
+    },
+    LandmarkSystem {
+        name: "Visualizing CNNs",
+        year: 2013.2,
+        pfs_days: 6.0e-3,
+    },
+    LandmarkSystem {
+        name: "DQN",
+        year: 2013.9,
+        pfs_days: 4.0e-3,
+    },
+    LandmarkSystem {
+        name: "GoogLeNet",
+        year: 2014.7,
+        pfs_days: 1.6e-2,
+    },
+    LandmarkSystem {
+        name: "VGG",
+        year: 2014.7,
+        pfs_days: 9.0e-2,
+    },
+    LandmarkSystem {
+        name: "Seq2Seq",
+        year: 2014.9,
+        pfs_days: 7.0e-2,
+    },
+    LandmarkSystem {
+        name: "ResNet-152",
+        year: 2015.9,
+        pfs_days: 2.2e-1,
+    },
+    LandmarkSystem {
+        name: "DeepSpeech2",
+        year: 2015.9,
+        pfs_days: 2.5e-1,
+    },
+    LandmarkSystem {
+        name: "Xception",
+        year: 2016.8,
+        pfs_days: 4.5e-1,
+    },
+    LandmarkSystem {
+        name: "Neural Machine Translation",
+        year: 2016.7,
+        pfs_days: 9.0e-1,
+    },
+    LandmarkSystem {
+        name: "Neural Architecture Search",
+        year: 2017.4,
+        pfs_days: 2.0e2,
+    },
+    LandmarkSystem {
+        name: "AlphaGo Zero",
+        year: 2017.8,
+        pfs_days: 1.9e3,
+    },
+    LandmarkSystem {
+        name: "AlphaZero",
+        year: 2017.95,
+        pfs_days: 3.6e2,
+    },
+    LandmarkSystem {
+        name: "GPT-3",
+        year: 2020.4,
+        pfs_days: 3.6e3,
+    },
 ];
 
 /// Fig. 1 reproduction: the dataset plus fitted doubling times per era.

@@ -31,10 +31,12 @@ pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
         }
         m.swap(col, pivot);
         // Eliminate below.
-        for row in col + 1..n {
-            let f = m[row][col] / m[col][col];
-            for k in col..=n {
-                m[row][k] -= f * m[col][k];
+        let (pivot_rows, rest) = m.split_at_mut(col + 1);
+        let prow = &pivot_rows[col];
+        for rrow in rest.iter_mut() {
+            let f = rrow[col] / prow[col];
+            for (rv, &pv) in rrow[col..=n].iter_mut().zip(&prow[col..=n]) {
+                *rv -= f * pv;
             }
         }
     }
@@ -144,8 +146,8 @@ mod tests {
             fn solve_roundtrip(seed_vals in prop::collection::vec(-5.0f64..5.0, 9), x in prop::collection::vec(-10.0f64..10.0, 3)) {
                 let mut a: Vec<Vec<f64>> = seed_vals.chunks(3).map(|c| c.to_vec()).collect();
                 // Make it diagonally dominant → invertible.
-                for i in 0..3 {
-                    a[i][i] += 20.0;
+                for (i, row) in a.iter_mut().enumerate() {
+                    row[i] += 20.0;
                 }
                 let b: Vec<f64> = (0..3)
                     .map(|i| (0..3).map(|j| a[i][j] * x[j]).sum())

@@ -16,8 +16,19 @@ pub trait Forecaster {
     /// observed value.
     fn fit(&mut self, history: &[f64]) -> bool;
 
-    /// Forecast `horizon` steps past the end of the fitted history.
-    fn forecast(&self, horizon: usize) -> Vec<f64>;
+    /// Write a `horizon`-step forecast into `out` (cleared first). This is
+    /// the hot-path entry point: callers that refresh forecasts every
+    /// simulated hour reuse one buffer instead of allocating a `Vec` per
+    /// refresh, and implementations perform no internal allocation.
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>);
+
+    /// Forecast `horizon` steps past the end of the fitted history
+    /// (allocating convenience wrapper over [`Forecaster::forecast_into`]).
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(horizon);
+        self.forecast_into(horizon, &mut out);
+        out
+    }
 
     /// Human-readable model name.
     fn name(&self) -> &'static str;
@@ -64,14 +75,15 @@ impl ForecasterKind {
             ForecasterKind::Ses => Box::new(Ses::new(0.3)),
             ForecasterKind::Holt => Box::new(Holt::new(0.3, 0.05)),
             ForecasterKind::HoltWinters => Box::new(HoltWinters::new(0.25, 0.02, 0.25, period)),
-            ForecasterKind::Ar => Box::new(Ar::new(period.max(2).min(48))),
+            ForecasterKind::Ar => Box::new(Ar::new(period.clamp(2, 48))),
         }
     }
 }
 
-/// Fallback state shared by every model: the last observation.
-fn fallback(last: Option<f64>, horizon: usize) -> Vec<f64> {
-    vec![last.unwrap_or(0.0); horizon]
+/// Fallback shared by every model: repeat the last observation.
+fn fallback_into(last: Option<f64>, horizon: usize, out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(horizon, last.unwrap_or(0.0));
 }
 
 /// Grand-mean forecaster.
@@ -89,8 +101,8 @@ impl Forecaster for MeanModel {
         true
     }
 
-    fn forecast(&self, horizon: usize) -> Vec<f64> {
-        fallback(self.mean, horizon)
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) {
+        fallback_into(self.mean, horizon, out);
     }
 
     fn name(&self) -> &'static str {
@@ -120,12 +132,13 @@ impl Forecaster for Drift {
         true
     }
 
-    fn forecast(&self, horizon: usize) -> Vec<f64> {
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) {
         match self.last {
-            Some(last) => (1..=horizon)
-                .map(|h| last + self.slope * h as f64)
-                .collect(),
-            None => fallback(None, horizon),
+            Some(last) => {
+                out.clear();
+                out.extend((1..=horizon).map(|h| last + self.slope * h as f64));
+            }
+            None => fallback_into(None, horizon, out),
         }
     }
 
@@ -158,19 +171,22 @@ impl Forecaster for SeasonalNaive {
     fn fit(&mut self, history: &[f64]) -> bool {
         self.last = history.last().copied();
         if history.len() < self.period {
+            // Failed refit on a reused model: drop the stale season.
+            self.season.clear();
             return false;
         }
-        self.season = history[history.len() - self.period..].to_vec();
+        self.season.clear();
+        self.season
+            .extend_from_slice(&history[history.len() - self.period..]);
         true
     }
 
-    fn forecast(&self, horizon: usize) -> Vec<f64> {
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) {
         if self.season.is_empty() {
-            return fallback(self.last, horizon);
+            return fallback_into(self.last, horizon, out);
         }
-        (0..horizon)
-            .map(|h| self.season[h % self.period])
-            .collect()
+        out.clear();
+        out.extend((0..horizon).map(|h| self.season[h % self.period]));
     }
 
     fn name(&self) -> &'static str {
@@ -206,8 +222,8 @@ impl Forecaster for Ses {
         true
     }
 
-    fn forecast(&self, horizon: usize) -> Vec<f64> {
-        fallback(self.level, horizon)
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) {
+        fallback_into(self.level, horizon, out);
     }
 
     fn name(&self) -> &'static str {
@@ -240,7 +256,10 @@ impl Holt {
 impl Forecaster for Holt {
     fn fit(&mut self, history: &[f64]) -> bool {
         if history.len() < 2 {
+            // Clear any previously fitted state so a failed refit falls
+            // back to pure persistence (models are reused across refits).
             self.level = history.last().copied();
+            self.trend = 0.0;
             return false;
         }
         let mut level = history[0];
@@ -255,12 +274,13 @@ impl Forecaster for Holt {
         true
     }
 
-    fn forecast(&self, horizon: usize) -> Vec<f64> {
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) {
         match self.level {
-            Some(level) => (1..=horizon)
-                .map(|h| level + self.trend * h as f64)
-                .collect(),
-            None => fallback(None, horizon),
+            Some(level) => {
+                out.clear();
+                out.extend((1..=horizon).map(|h| level + self.trend * h as f64));
+            }
+            None => fallback_into(None, horizon, out),
         }
     }
 
@@ -303,7 +323,11 @@ impl Forecaster for HoltWinters {
     fn fit(&mut self, history: &[f64]) -> bool {
         let m = self.period;
         if history.len() < 2 * m {
+            // Clear any previously fitted state so a failed refit falls
+            // back to pure persistence (models are reused across refits).
             self.level = history.last().copied();
+            self.trend = 0.0;
+            self.season.clear();
             return false;
         }
         // Initialize: level = mean of first season, trend from season means,
@@ -328,15 +352,16 @@ impl Forecaster for HoltWinters {
         true
     }
 
-    fn forecast(&self, horizon: usize) -> Vec<f64> {
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) {
         match (&self.level, self.season.is_empty()) {
-            (Some(level), false) => (1..=horizon)
-                .map(|h| {
+            (Some(level), false) => {
+                out.clear();
+                out.extend((1..=horizon).map(|h| {
                     let s = self.season[(self.t_end + h - 1) % self.period];
                     level + self.trend * h as f64 + s
-                })
-                .collect(),
-            (last, _) => fallback(*last, horizon),
+                }));
+            }
+            (last, _) => fallback_into(*last, horizon, out),
         }
     }
 
@@ -370,7 +395,16 @@ impl Ar {
 impl Forecaster for Ar {
     fn fit(&mut self, history: &[f64]) -> bool {
         let p = self.p;
-        self.tail = history[history.len().saturating_sub(p)..].to_vec();
+        self.tail.clear();
+        self.tail
+            .extend_from_slice(&history[history.len().saturating_sub(p)..]);
+        // Clear fitted coefficients up front: models are refit in place
+        // across a run, and a failed refit (short or degenerate history —
+        // e.g. a constant series makes the normal equations singular) must
+        // fall back to persistence, not forecast with stale coefficients
+        // against a fresh tail.
+        self.coef.clear();
+        self.intercept = 0.0;
         if history.len() < 2 * p + 2 {
             return false;
         }
@@ -385,29 +419,35 @@ impl Forecaster for Ar {
         match least_squares(&xs, &ys) {
             Some(beta) => {
                 self.intercept = beta[p];
-                self.coef = beta[..p].to_vec();
+                self.coef.extend_from_slice(&beta[..p]);
                 true
             }
             None => false,
         }
     }
 
-    fn forecast(&self, horizon: usize) -> Vec<f64> {
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) {
         if self.coef.is_empty() || self.tail.is_empty() {
-            return fallback(self.tail.last().copied(), horizon);
+            return fallback_into(self.tail.last().copied(), horizon, out);
         }
-        let mut buf = self.tail.clone();
-        let mut out = Vec::with_capacity(horizon);
-        for _ in 0..horizon {
-            let n = buf.len();
+        // Iterate forward using `out` itself as the growing history: lag
+        // `k+1` at step `i` is either an earlier forecast (`out[i-k-1]`) or
+        // one of the fitted tail values — no scratch buffer needed.
+        out.clear();
+        let tail = &self.tail;
+        for i in 0..horizon {
             let mut y = self.intercept;
             for (k, c) in self.coef.iter().enumerate() {
-                y += c * buf[n - 1 - k];
+                let back = k + 1;
+                let v = if i >= back {
+                    out[i - back]
+                } else {
+                    tail[tail.len() - (back - i)]
+                };
+                y += c * v;
             }
             out.push(y);
-            buf.push(y);
         }
-        out
     }
 
     fn name(&self) -> &'static str {
@@ -485,11 +525,7 @@ mod tests {
         assert!(hw.fit(train));
         assert!(ses.fit(train));
         let err = |f: Vec<f64>| -> f64 {
-            f.iter()
-                .zip(test)
-                .map(|(a, b)| (a - b).abs())
-                .sum::<f64>()
-                / test.len() as f64
+            f.iter().zip(test).map(|(a, b)| (a - b).abs()).sum::<f64>() / test.len() as f64
         };
         let hw_err = err(hw.forecast(test.len()));
         let ses_err = err(ses.forecast(test.len()));
@@ -527,6 +563,33 @@ mod tests {
             assert_eq!(f.len(), 48);
             assert!(f.iter().all(|v| v.is_finite()), "{:?} produced NaN", kind);
         }
+    }
+
+    #[test]
+    fn failed_refit_falls_back_to_persistence() {
+        // Models are refit in place across a simulation run; a refit that
+        // fails (short history) must not forecast with stale fitted state.
+        let varying = sine_series(24 * 8, 24.0);
+        for kind in ForecasterKind::ALL {
+            let mut m = kind.build(24);
+            assert!(m.fit(&varying));
+            m.fit(&[5.0, 5.0, 5.0]); // succeeds for simple models, fails for seasonal/AR
+            let f = m.forecast(4);
+            assert_eq!(f, vec![5.0; 4], "{kind:?} kept stale state");
+        }
+    }
+
+    #[test]
+    fn short_ar_refit_clears_stale_coefficients() {
+        // The driver refits one persistent model per hour; early hours have
+        // histories long enough for a tail but too short for AR(24). Such a
+        // refit must clear the previous run's coefficients, not combine
+        // them with the fresh tail.
+        let mut ar = Ar::new(24);
+        assert!(ar.fit(&sine_series(24 * 8, 24.0)));
+        let short = vec![5.0; 30]; // 30 < 2·24 + 2
+        assert!(!ar.fit(&short));
+        assert_eq!(ar.forecast(3), vec![5.0; 3]);
     }
 
     #[test]

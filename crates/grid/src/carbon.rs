@@ -73,10 +73,7 @@ mod tests {
     #[test]
     fn intensity_is_weighted_average() {
         // 50/50 gas and wind.
-        let ci = grid_intensity_kg_mwh(
-            &[(FuelSource::Gas, 100.0), (FuelSource::Wind, 100.0)],
-            1.0,
-        );
+        let ci = grid_intensity_kg_mwh(&[(FuelSource::Gas, 100.0), (FuelSource::Wind, 100.0)], 1.0);
         assert!((ci - (410.0 + 11.0) / 2.0).abs() < 1e-9);
     }
 

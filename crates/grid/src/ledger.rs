@@ -120,7 +120,10 @@ impl PurchaseLedger {
     /// per-hour cap of `max_mult ×` the actual hourly energy. The difference
     /// to [`Self::total_carbon`] is the environmental opportunity cost.
     pub fn counterfactual_min_carbon(&self, max_mult: f64) -> KgCo2 {
-        assert!(max_mult >= 1.0, "hourly cap must allow at least actual energy");
+        assert!(
+            max_mult >= 1.0,
+            "hourly cap must allow at least actual energy"
+        );
         let total = self.total_energy().kwh();
         if total <= 0.0 {
             return KgCo2::ZERO;
@@ -160,7 +163,11 @@ impl PurchaseLedger {
             return Dollars::ZERO;
         }
         let mut hours: Vec<&PurchaseRecord> = self.records.iter().collect();
-        hours.sort_by(|a, b| a.lmp_usd_mwh.partial_cmp(&b.lmp_usd_mwh).expect("finite LMP"));
+        hours.sort_by(|a, b| {
+            a.lmp_usd_mwh
+                .partial_cmp(&b.lmp_usd_mwh)
+                .expect("finite LMP")
+        });
         let mut remaining = total;
         let mut cost = 0.0;
         for rec in hours {

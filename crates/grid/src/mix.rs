@@ -313,8 +313,8 @@ mod tests {
     #[test]
     fn summer_demand_exceeds_spring() {
         let g = year_grid(3);
-        let rows = HourlySeries::from_values(*g.calendar(), g.demand_mw.clone())
-            .monthly(MonthlyAgg::Mean);
+        let rows =
+            HourlySeries::from_values(*g.calendar(), g.demand_mw.clone()).monthly(MonthlyAgg::Mean);
         let apr = rows[3].value;
         let jul = rows[6].value;
         assert!(jul > apr * 1.1, "Jul {jul:.0} MW vs Apr {apr:.0} MW");

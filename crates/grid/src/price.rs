@@ -32,9 +32,7 @@ impl Default for PriceConfig {
     fn default() -> Self {
         PriceConfig {
             // Winter pipeline scarcity (Dec–Feb) vs. cheap shoulder gas.
-            gas_price_usd_mmbtu: [
-                6.2, 3.6, 2.5, 2.3, 2.2, 2.5, 2.9, 2.9, 2.6, 2.8, 3.6, 5.2,
-            ],
+            gas_price_usd_mmbtu: [6.2, 3.6, 2.5, 2.3, 2.2, 2.5, 2.9, 2.9, 2.6, 2.8, 3.6, 5.2],
             heat_rate_base: 7.0,
             heat_rate_slope: 5.0,
             adder_usd_mwh: 2.0,
@@ -47,12 +45,7 @@ impl Default for PriceConfig {
 ///
 /// `utilization` is regional demand relative to dispatchable capacity
 /// (≈ demand / 1.8·base); values above ~0.8 climb steeply.
-pub fn lmp_usd_mwh(
-    config: &PriceConfig,
-    calendar: &Calendar,
-    hour: u64,
-    utilization: f64,
-) -> f64 {
+pub fn lmp_usd_mwh(config: &PriceConfig, calendar: &Calendar, hour: u64, utilization: f64) -> f64 {
     let gas = greener_climate::weather::interp_monthly(
         &config.gas_price_usd_mmbtu,
         calendar,

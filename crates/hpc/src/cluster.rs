@@ -299,7 +299,10 @@ mod tests {
     #[test]
     fn rejects_bad_requests() {
         let mut c = small();
-        assert_eq!(c.allocate(JobId(1), 0, 250.0, 1.0), Err(AllocError::EmptyRequest));
+        assert_eq!(
+            c.allocate(JobId(1), 0, 250.0, 1.0),
+            Err(AllocError::EmptyRequest)
+        );
         assert_eq!(
             c.allocate(JobId(1), 9, 250.0, 1.0),
             Err(AllocError::InsufficientGpus)
@@ -336,7 +339,10 @@ mod tests {
         let idle = c.it_power().kw();
         c.allocate(JobId(1), 64, 250.0, 0.95).unwrap();
         let loaded = c.it_power().kw();
-        assert!(loaded > idle + 10.0, "idle {idle:.1} kW, loaded {loaded:.1} kW");
+        assert!(
+            loaded > idle + 10.0,
+            "idle {idle:.1} kW, loaded {loaded:.1} kW"
+        );
         // Idle cluster draws something (fixed infra + idle nodes).
         assert!(idle > 20.0);
     }

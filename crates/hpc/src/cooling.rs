@@ -169,8 +169,7 @@ mod tests {
         let full = CoolingModel::default();
         let e = Energy::from_kwh(100.0);
         assert!(
-            m.water_use(e, Fahrenheit(70.0)).value()
-                < full.water_use(e, Fahrenheit(70.0)).value()
+            m.water_use(e, Fahrenheit(70.0)).value() < full.water_use(e, Fahrenheit(70.0)).value()
         );
     }
 

@@ -69,7 +69,7 @@ impl TelemetryLog {
     /// Append one frame (hours must arrive in order).
     pub fn push(&mut self, frame: TelemetryFrame) {
         debug_assert!(
-            self.frames.last().map_or(true, |f| f.hour < frame.hour),
+            self.frames.last().is_none_or(|f| f.hour < frame.hour),
             "telemetry hours must be strictly increasing"
         );
         self.frames.push(frame);
@@ -147,8 +147,7 @@ impl TelemetryLog {
         if self.frames.is_empty() {
             return 0.0;
         }
-        self.frames.iter().filter(|f| f.cooling_saturated).count() as f64
-            / self.frames.len() as f64
+        self.frames.iter().filter(|f| f.cooling_saturated).count() as f64 / self.frames.len() as f64
     }
 
     /// Mean GPU utilization across the log.
@@ -219,7 +218,10 @@ mod tests {
     fn saturation_fraction() {
         let log = log_with(100);
         assert!((log.cooling_saturation_fraction() - 0.1).abs() < 1e-9);
-        assert_eq!(TelemetryLog::new(*log.calendar()).cooling_saturation_fraction(), 0.0);
+        assert_eq!(
+            TelemetryLog::new(*log.calendar()).cooling_saturation_fraction(),
+            0.0
+        );
     }
 
     #[test]

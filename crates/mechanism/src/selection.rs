@@ -94,7 +94,11 @@ impl AdverseSelectionOutcome {
     /// The clogging statistic: max queue load / min queue load. Balanced
     /// systems sit near 1; adverse selection drives it up.
     pub fn imbalance(&self) -> f64 {
-        let max = self.queue_loads.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .queue_loads
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let min = self
             .queue_loads
             .iter()

@@ -24,6 +24,10 @@ pub struct CarbonAwarePolicy {
     pub improvement_margin: f64,
     /// Hours of forecast to consult.
     pub lookahead_h: usize,
+    /// Reusable buffer holding the non-deferred queue view shown to the
+    /// base policy (jobs are plain data, so refilling it allocates nothing
+    /// once capacity has grown to the high-water mark).
+    visible: Vec<QueuedJob>,
 }
 
 impl CarbonAwarePolicy {
@@ -35,11 +39,12 @@ impl CarbonAwarePolicy {
             green_threshold: 0.06,
             improvement_margin: 0.01,
             lookahead_h: 24,
+            visible: Vec::new(),
         }
     }
 
     /// Should this queued job be held back right now?
-    pub fn should_defer(&self, q: &QueuedJob, signals: &SchedSignals) -> bool {
+    pub fn should_defer(&self, q: &QueuedJob, signals: &SchedSignals<'_>) -> bool {
         if !q.job.deferrable {
             return false;
         }
@@ -58,7 +63,9 @@ impl CarbonAwarePolicy {
             .start_deadline
             .map(|by| ((by.secs().saturating_sub(signals.now.secs())) / 3_600) as usize)
             .unwrap_or(self.lookahead_h);
-        let window = slack_h.min(self.lookahead_h).min(signals.forecast_green.len());
+        let window = slack_h
+            .min(self.lookahead_h)
+            .min(signals.forecast_green.len());
         let best = signals.forecast_green[..window]
             .iter()
             .cloned()
@@ -76,15 +83,21 @@ impl SchedPolicy for CarbonAwarePolicy {
         &mut self,
         queue: &[QueuedJob],
         cluster: &Cluster,
-        signals: &SchedSignals,
-    ) -> Vec<Decision> {
-        // Present the base policy with the non-deferred subset.
-        let visible: Vec<QueuedJob> = queue
-            .iter()
-            .filter(|q| !self.should_defer(q, signals))
-            .cloned()
-            .collect();
-        self.base.dispatch(&visible, cluster, signals)
+        signals: &SchedSignals<'_>,
+        out: &mut Vec<Decision>,
+    ) {
+        // Present the base policy with the non-deferred subset, staged in
+        // the reusable `visible` buffer (taken out of `self` so the filter
+        // can borrow `self` immutably while pushing).
+        let mut visible = std::mem::take(&mut self.visible);
+        visible.clear();
+        for q in queue {
+            if !self.should_defer(q, signals) {
+                visible.push(*q);
+            }
+        }
+        self.base.dispatch(&visible, cluster, signals, out);
+        self.visible = visible;
     }
 }
 
@@ -109,7 +122,7 @@ impl Default for GreenQueuePolicy {
 
 impl GreenQueuePolicy {
     /// Whether a green-queue job may start now.
-    fn green_may_start(&self, q: &QueuedJob, signals: &SchedSignals) -> bool {
+    fn green_may_start(&self, q: &QueuedJob, signals: &SchedSignals<'_>) -> bool {
         if signals.green_share >= self.green_threshold {
             return true;
         }
@@ -131,11 +144,11 @@ impl SchedPolicy for GreenQueuePolicy {
         &mut self,
         queue: &[QueuedJob],
         cluster: &Cluster,
-        signals: &SchedSignals,
-    ) -> Vec<Decision> {
+        signals: &SchedSignals<'_>,
+        out: &mut Vec<Decision>,
+    ) {
         let nominal = cluster.spec().gpu.nominal_power_w;
         let mut free = cluster.free_gpus();
-        let mut out = Vec::new();
         // Priority tiers: urgent, standard, green.
         let tiers: [(QueueClass, f64); 3] = [
             (QueueClass::Urgent, nominal),
@@ -156,7 +169,6 @@ impl SchedPolicy for GreenQueuePolicy {
                 }
             }
         }
-        out
     }
 }
 
@@ -190,7 +202,7 @@ mod tests {
     use crate::policy::FcfsPolicy;
     use greener_workload::JobId;
 
-    fn dirty_signals(forecast: Vec<f64>) -> SchedSignals {
+    fn dirty_signals(forecast: &[f64]) -> SchedSignals<'_> {
         SchedSignals {
             now: SimTime::ZERO,
             green_share: 0.04, // dirty hour
@@ -204,8 +216,8 @@ mod tests {
         let mut p = CarbonAwarePolicy::new(Box::new(FcfsPolicy::default()));
         let c = cluster();
         let queue = vec![deferrable(qjob(1, 2, 1.0), 48), qjob(2, 2, 1.0)];
-        let signals = dirty_signals(vec![0.05, 0.08, 0.09]);
-        let d = p.dispatch(&queue, &c, &signals);
+        let signals = dirty_signals(&[0.05, 0.08, 0.09]);
+        let d = p.dispatch_collect(&queue, &c, &signals);
         let ids: Vec<JobId> = d.iter().map(|x| x.job_id).collect();
         assert!(!ids.contains(&JobId(1)), "deferrable job should wait");
         assert!(ids.contains(&JobId(2)), "non-deferrable job must run");
@@ -215,7 +227,7 @@ mod tests {
     fn runs_when_no_improvement_forecast() {
         let p = CarbonAwarePolicy::new(Box::new(FcfsPolicy::default()));
         let q = deferrable(qjob(1, 2, 1.0), 48);
-        let signals = dirty_signals(vec![0.04, 0.045, 0.04]);
+        let signals = dirty_signals(&[0.04, 0.045, 0.04]);
         assert!(!p.should_defer(&q, &signals), "no better hour forecast");
     }
 
@@ -225,7 +237,7 @@ mod tests {
         let q = deferrable(qjob(1, 2, 1.0), 48);
         let signals = SchedSignals {
             green_share: 0.09,
-            forecast_green: vec![0.10; 24],
+            forecast_green: &[0.10; 24],
             ..SchedSignals::default()
         };
         assert!(!p.should_defer(&q, &signals));
@@ -236,7 +248,7 @@ mod tests {
         let p = CarbonAwarePolicy::new(Box::new(FcfsPolicy::default()));
         let mut q = deferrable(qjob(1, 2, 1.0), 10);
         q.job.start_deadline = Some(SimTime::ZERO); // already due
-        let signals = dirty_signals(vec![0.2; 24]);
+        let signals = dirty_signals(&[0.2; 24]);
         assert!(!p.should_defer(&q, &signals), "expired slack must run");
     }
 
@@ -245,9 +257,9 @@ mod tests {
         let p = CarbonAwarePolicy::new(Box::new(FcfsPolicy::default()));
         // Green hour forecast at +20h but slack only 4h → cannot wait.
         let q = deferrable(qjob(1, 2, 1.0), 4);
-        let mut forecast = vec![0.04; 24];
+        let mut forecast = [0.04; 24];
         forecast[20] = 0.15;
-        let signals = dirty_signals(forecast);
+        let signals = dirty_signals(&forecast);
         assert!(!p.should_defer(&q, &signals));
     }
 
@@ -259,13 +271,13 @@ mod tests {
         urgent.job.queue = greener_workload::QueueClass::Urgent;
         let standard = qjob(2, 4, 1.0);
         let green = deferrable(qjob(3, 4, 1.0), 48);
-        let queue = vec![green.clone(), standard.clone(), urgent.clone()];
+        let queue = vec![green, standard, urgent];
         // Green hour: everything runs; urgent first; green job capped.
         let signals = SchedSignals {
             green_share: 0.10,
             ..SchedSignals::default()
         };
-        let d = p.dispatch(&queue, &c, &signals);
+        let d = p.dispatch_collect(&queue, &c, &signals);
         assert_eq!(d[0].job_id, JobId(1));
         let green_dec = d.iter().find(|x| x.job_id == JobId(3)).unwrap();
         assert_eq!(green_dec.power_cap_w, 160.0);
@@ -283,7 +295,7 @@ mod tests {
             green_share: 0.03,
             ..SchedSignals::default()
         };
-        let d = p.dispatch(&queue, &c, &signals);
+        let d = p.dispatch_collect(&queue, &c, &signals);
         assert!(d.is_empty(), "green job should wait for a green hour");
     }
 
@@ -293,12 +305,7 @@ mod tests {
         let t = expected_green_start(SimTime::ZERO, None, &forecast, 0.08);
         assert_eq!(t, SimTime::from_hours(3));
         // Deadline binds first.
-        let t2 = expected_green_start(
-            SimTime::ZERO,
-            Some(SimTime::from_hours(2)),
-            &forecast,
-            0.08,
-        );
+        let t2 = expected_green_start(SimTime::ZERO, Some(SimTime::from_hours(2)), &forecast, 0.08);
         assert_eq!(t2, SimTime::from_hours(2));
     }
 }

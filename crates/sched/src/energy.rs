@@ -38,13 +38,14 @@ impl SchedPolicy for PowerCapPolicy {
         &mut self,
         queue: &[QueuedJob],
         cluster: &Cluster,
-        signals: &SchedSignals,
-    ) -> Vec<Decision> {
-        let mut decisions = self.base.dispatch(queue, cluster, signals);
-        for d in &mut decisions {
+        signals: &SchedSignals<'_>,
+        out: &mut Vec<Decision>,
+    ) {
+        let start = out.len();
+        self.base.dispatch(queue, cluster, signals, out);
+        for d in &mut out[start..] {
             d.power_cap_w = self.cap_w;
         }
-        decisions
     }
 }
 
@@ -93,15 +94,16 @@ impl SchedPolicy for TempAwarePolicy {
         &mut self,
         queue: &[QueuedJob],
         cluster: &Cluster,
-        signals: &SchedSignals,
-    ) -> Vec<Decision> {
+        signals: &SchedSignals<'_>,
+        out: &mut Vec<Decision>,
+    ) {
         let nominal = cluster.spec().gpu.nominal_power_w;
         let cap = self.cap_at_temp(signals.temp_f, nominal);
-        let mut decisions = self.base.dispatch(queue, cluster, signals);
-        for d in &mut decisions {
+        let start = out.len();
+        self.base.dispatch(queue, cluster, signals, out);
+        for d in &mut out[start..] {
             d.power_cap_w = cap;
         }
-        decisions
     }
 }
 
@@ -116,7 +118,7 @@ mod tests {
         let mut p = PowerCapPolicy::new(Box::new(FcfsPolicy::default()), 175.0);
         let c = cluster();
         let queue = vec![qjob(1, 2, 1.0), qjob(2, 2, 1.0)];
-        let d = p.dispatch(&queue, &c, &SchedSignals::default());
+        let d = p.dispatch_collect(&queue, &c, &SchedSignals::default());
         assert_eq!(d.len(), 2);
         assert!(d.iter().all(|x| x.power_cap_w == 175.0));
         assert_eq!(p.cap_w(), 175.0);
@@ -154,13 +156,13 @@ mod tests {
             temp_f: 95.0,
             ..SchedSignals::default()
         };
-        let d = p.dispatch(&queue, &c, &hot);
+        let d = p.dispatch_collect(&queue, &c, &hot);
         assert_eq!(d[0].power_cap_w, 150.0);
         let cold = SchedSignals {
             temp_f: 20.0,
             ..SchedSignals::default()
         };
-        let d = p.dispatch(&queue, &c, &cold);
+        let d = p.dispatch_collect(&queue, &c, &cold);
         assert_eq!(d[0].power_cap_w, 250.0);
     }
 }

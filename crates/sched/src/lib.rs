@@ -23,4 +23,6 @@ pub mod policy;
 pub use carbon::{CarbonAwarePolicy, GreenQueuePolicy};
 pub use config::PolicyKind;
 pub use energy::{PowerCapPolicy, TempAwarePolicy};
-pub use policy::{Decision, EasyBackfillPolicy, FcfsPolicy, QueuedJob, SchedPolicy, SchedSignals, SjfPolicy};
+pub use policy::{
+    Decision, EasyBackfillPolicy, FcfsPolicy, QueuedJob, SchedPolicy, SchedSignals, SjfPolicy,
+};

@@ -1,17 +1,28 @@
 //! The scheduling interface and baseline policies.
 //!
 //! A policy sees the waiting queue, the cluster state and an environment
-//! snapshot ([`SchedSignals`]) and returns the jobs to start *now*, each
-//! with a power cap. The driver in `greener-core` validates and applies the
-//! decisions; policies never mutate the cluster directly.
+//! snapshot ([`SchedSignals`]) and appends the jobs to start *now* — each
+//! with a power cap — to a caller-owned decision buffer. The driver in
+//! `greener-core` validates and applies the decisions; policies never
+//! mutate the cluster directly.
+//!
+//! The dispatch path is allocation-free in steady state by design:
+//! [`SchedSignals`] *borrows* its forecast and completion data from the
+//! driver (no per-call `Vec` clones), decisions go into a reused out
+//! buffer, and policies keep whatever scratch they need (SJF's sort
+//! permutation, the carbon gate's visible-queue buffer) as reusable
+//! members. Year-scale simulations dispatch hundreds of thousands of
+//! times, so per-call heap traffic dominates everything else.
 
 use greener_hpc::Cluster;
 use greener_simkit::time::SimTime;
 use greener_workload::{Job, JobId};
 use serde::{Deserialize, Serialize};
 
-/// A queue entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A queue entry. Plain `Copy` data by design: the driver's waiting queue
+/// compacts with block memmoves, and policy scratch buffers refill without
+/// touching the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QueuedJob {
     /// The job.
     pub job: Job,
@@ -20,8 +31,11 @@ pub struct QueuedJob {
 }
 
 /// Environment snapshot at dispatch time.
-#[derive(Debug, Clone, Default)]
-pub struct SchedSignals {
+///
+/// All slice fields are *borrowed* from driver-owned buffers that persist
+/// across events; building a `SchedSignals` performs no heap allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedSignals<'a> {
     /// Current simulation time.
     pub now: SimTime,
     /// Grid green (solar+wind) share in [0,1].
@@ -33,12 +47,14 @@ pub struct SchedSignals {
     /// Outdoor temperature, °F.
     pub temp_f: f64,
     /// Forecast green share for the next hours (index 0 = next hour).
-    pub forecast_green: Vec<f64>,
+    pub forecast_green: &'a [f64],
     /// Forecast carbon intensity for the next hours.
-    pub forecast_ci: Vec<f64>,
-    /// `(completion time, gpus released)` of running jobs, soonest first
-    /// (what EASY backfill reserves against).
-    pub running_completions: Vec<(SimTime, u32)>,
+    pub forecast_ci: &'a [f64],
+    /// `(completion time, gpus released)` of running jobs, **sorted
+    /// soonest-first** — the driver maintains this incrementally on
+    /// allocate/release, so policies may rely on the ordering without
+    /// re-sorting (EASY backfill reserves against it directly).
+    pub running_completions: &'a [(SimTime, u32)],
 }
 
 /// One dispatch decision: start this job under this cap.
@@ -55,14 +71,30 @@ pub trait SchedPolicy: Send {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 
-    /// Choose jobs to start now. Decisions must reference queued jobs and
-    /// must collectively fit in `cluster.free_gpus()` (the driver asserts).
+    /// Choose jobs to start now, appending to `out` (which the caller has
+    /// cleared). Decisions must reference queued jobs and must collectively
+    /// fit in `cluster.free_gpus()` (the driver asserts).
     fn dispatch(
         &mut self,
         queue: &[QueuedJob],
         cluster: &Cluster,
-        signals: &SchedSignals,
-    ) -> Vec<Decision>;
+        signals: &SchedSignals<'_>,
+        out: &mut Vec<Decision>,
+    );
+
+    /// Convenience wrapper returning a fresh decision vector. Tests and
+    /// one-shot callers use this; the driver's hot loop calls
+    /// [`SchedPolicy::dispatch`] with a reused buffer instead.
+    fn dispatch_collect(
+        &mut self,
+        queue: &[QueuedJob],
+        cluster: &Cluster,
+        signals: &SchedSignals<'_>,
+    ) -> Vec<Decision> {
+        let mut out = Vec::new();
+        self.dispatch(queue, cluster, signals, &mut out);
+        out
+    }
 }
 
 /// Strict first-come-first-served: start jobs in arrival order until the
@@ -83,11 +115,11 @@ impl SchedPolicy for FcfsPolicy {
         &mut self,
         queue: &[QueuedJob],
         cluster: &Cluster,
-        _signals: &SchedSignals,
-    ) -> Vec<Decision> {
+        _signals: &SchedSignals<'_>,
+        out: &mut Vec<Decision>,
+    ) {
         let cap = self.cap_w.unwrap_or(cluster.spec().gpu.nominal_power_w);
         let mut free = cluster.free_gpus();
-        let mut out = Vec::new();
         for q in queue {
             if q.job.gpus <= free {
                 free -= q.job.gpus;
@@ -99,13 +131,15 @@ impl SchedPolicy for FcfsPolicy {
                 break; // head-of-line blocking
             }
         }
-        out
     }
 }
 
 /// Shortest-job-first (by nominal duration), greedy packing.
 #[derive(Debug, Default, Clone)]
-pub struct SjfPolicy;
+pub struct SjfPolicy {
+    /// Reusable sort permutation (indices into the queue slice).
+    order: Vec<u32>,
+}
 
 impl SchedPolicy for SjfPolicy {
     fn name(&self) -> &'static str {
@@ -116,19 +150,26 @@ impl SchedPolicy for SjfPolicy {
         &mut self,
         queue: &[QueuedJob],
         cluster: &Cluster,
-        _signals: &SchedSignals,
-    ) -> Vec<Decision> {
+        _signals: &SchedSignals<'_>,
+        out: &mut Vec<Decision>,
+    ) {
         let cap = cluster.spec().gpu.nominal_power_w;
-        let mut order: Vec<&QueuedJob> = queue.iter().collect();
-        order.sort_by(|a, b| {
-            a.job
+        self.order.clear();
+        self.order.extend(0..queue.len() as u32);
+        // Unstable sort to avoid the stable sort's per-call merge-buffer
+        // allocation; the index tiebreak reproduces stable order exactly,
+        // so decisions are deterministic.
+        self.order.sort_unstable_by(|&a, &b| {
+            let (qa, qb) = (&queue[a as usize], &queue[b as usize]);
+            qa.job
                 .nominal_duration()
-                .cmp(&b.job.nominal_duration())
-                .then(a.enqueued.cmp(&b.enqueued))
+                .cmp(&qb.job.nominal_duration())
+                .then(qa.enqueued.cmp(&qb.enqueued))
+                .then(a.cmp(&b))
         });
         let mut free = cluster.free_gpus();
-        let mut out = Vec::new();
-        for q in order {
+        for &i in &self.order {
+            let q = &queue[i as usize];
             if q.job.gpus <= free {
                 free -= q.job.gpus;
                 out.push(Decision {
@@ -137,7 +178,6 @@ impl SchedPolicy for SjfPolicy {
                 });
             }
         }
-        out
     }
 }
 
@@ -149,7 +189,7 @@ pub struct EasyBackfillPolicy;
 
 impl EasyBackfillPolicy {
     /// Earliest time `gpus` become available given current free GPUs and
-    /// the running-completion profile.
+    /// the running-completion profile (sorted soonest-first).
     fn reservation_time(
         free_now: u32,
         gpus: u32,
@@ -180,11 +220,11 @@ impl SchedPolicy for EasyBackfillPolicy {
         &mut self,
         queue: &[QueuedJob],
         cluster: &Cluster,
-        signals: &SchedSignals,
-    ) -> Vec<Decision> {
+        signals: &SchedSignals<'_>,
+        out: &mut Vec<Decision>,
+    ) {
         let cap = cluster.spec().gpu.nominal_power_w;
         let mut free = cluster.free_gpus();
-        let mut out = Vec::new();
         let mut idx = 0;
         // Start the FCFS prefix that fits.
         while idx < queue.len() && queue[idx].job.gpus <= free {
@@ -196,21 +236,20 @@ impl SchedPolicy for EasyBackfillPolicy {
             idx += 1;
         }
         if idx >= queue.len() {
-            return out;
+            return;
         }
-        // Head job blocked: compute its reservation.
+        // Head job blocked: compute its reservation against the (already
+        // sorted) completion profile.
         let head = &queue[idx].job;
-        let mut completions = signals.running_completions.clone();
-        completions.sort_by_key(|&(t, _)| t);
-        let shadow =
-            Self::reservation_time(free, head.gpus, &completions, signals.now);
+        let completions = signals.running_completions;
+        let shadow = Self::reservation_time(free, head.gpus, completions, signals.now);
         // Backfill: any later job that fits now and finishes before shadow,
         // or that leaves enough GPUs for the head at shadow time.
         let head_needs = head.gpus;
         let mut spare_at_shadow = {
             // GPUs free at shadow time if we start nothing else.
             let mut f = free;
-            for &(t, released) in &completions {
+            for &(t, released) in completions {
                 if t <= shadow {
                     f += released;
                 }
@@ -234,13 +273,12 @@ impl SchedPolicy for EasyBackfillPolicy {
                 });
             }
         }
-        out
     }
 }
 
 /// Validate a decision batch against a queue and cluster: every decision
 /// references a distinct queued job and the total fits. Used by the driver
-/// and by policy tests.
+/// (debug builds only) and by policy tests.
 pub fn validate_decisions(
     decisions: &[Decision],
     queue: &[QueuedJob],
@@ -308,7 +346,8 @@ pub(crate) mod testutil {
     pub fn deferrable(mut q: QueuedJob, by_hours: u64) -> QueuedJob {
         q.job.deferrable = true;
         q.job.queue = QueueClass::Green;
-        q.job.start_deadline = Some(q.job.submit + greener_simkit::time::Duration::from_hours(by_hours));
+        q.job.start_deadline =
+            Some(q.job.submit + greener_simkit::time::Duration::from_hours(by_hours));
         q
     }
 }
@@ -323,7 +362,7 @@ mod tests {
         let cluster = cluster(); // 16 GPUs
         let queue = vec![qjob(1, 8, 1.0), qjob(2, 12, 1.0), qjob(3, 2, 1.0)];
         let mut p = FcfsPolicy::default();
-        let d = p.dispatch(&queue, &cluster, &SchedSignals::default());
+        let d = p.dispatch_collect(&queue, &cluster, &SchedSignals::default());
         // Job 1 fits (8), job 2 (12) doesn't fit in the remaining 8 → block;
         // job 3 must NOT jump ahead under strict FCFS.
         assert_eq!(d.len(), 1);
@@ -335,8 +374,8 @@ mod tests {
     fn sjf_prefers_short_jobs() {
         let cluster = cluster();
         let queue = vec![qjob(1, 8, 10.0), qjob(2, 8, 1.0), qjob(3, 8, 5.0)];
-        let mut p = SjfPolicy;
-        let d = p.dispatch(&queue, &cluster, &SchedSignals::default());
+        let mut p = SjfPolicy::default();
+        let d = p.dispatch_collect(&queue, &cluster, &SchedSignals::default());
         assert_eq!(d.len(), 2);
         assert_eq!(d[0].job_id, JobId(2)); // shortest first
         assert_eq!(d[1].job_id, JobId(3));
@@ -344,13 +383,25 @@ mod tests {
     }
 
     #[test]
+    fn sjf_scratch_is_reused_across_calls() {
+        let cluster = cluster();
+        let queue = vec![qjob(1, 4, 2.0), qjob(2, 4, 1.0)];
+        let mut p = SjfPolicy::default();
+        let sig = SchedSignals::default();
+        let d1 = p.dispatch_collect(&queue, &cluster, &sig);
+        let d2 = p.dispatch_collect(&queue, &cluster, &sig);
+        assert_eq!(d1, d2, "scratch reuse must not change decisions");
+    }
+
+    #[test]
     fn backfill_jumps_only_when_harmless() {
         let mut cluster = cluster(); // 16 GPUs
-        // 12 GPUs busy until t=10h.
+                                     // 12 GPUs busy until t=10h.
         cluster.allocate(JobId(100), 12, 250.0, 1.0).unwrap();
+        let completions = [(SimTime::from_hours(10), 12u32)];
         let signals = SchedSignals {
             now: SimTime::ZERO,
-            running_completions: vec![(SimTime::from_hours(10), 12)],
+            running_completions: &completions,
             ..SchedSignals::default()
         };
         // Head wants the whole machine (blocked until t=10, when all 16
@@ -359,7 +410,7 @@ mod tests {
         // only 12 GPUs for the 16-GPU head.
         let queue = vec![qjob(1, 16, 1.0), qjob(2, 4, 20.0), qjob(3, 4, 2.0)];
         let mut p = EasyBackfillPolicy;
-        let d = p.dispatch(&queue, &cluster, &signals);
+        let d = p.dispatch_collect(&queue, &cluster, &signals);
         let ids: Vec<JobId> = d.iter().map(|x| x.job_id).collect();
         assert!(ids.contains(&JobId(3)), "short job should backfill");
         assert!(!ids.contains(&JobId(2)), "long job would delay the head");
@@ -374,8 +425,8 @@ mod tests {
         let mut bf = EasyBackfillPolicy;
         let mut fc = FcfsPolicy::default();
         let sig = SchedSignals::default();
-        let d1 = bf.dispatch(&queue, &cluster, &sig);
-        let d2 = fc.dispatch(&queue, &cluster, &sig);
+        let d1 = bf.dispatch_collect(&queue, &cluster, &sig);
+        let d2 = fc.dispatch_collect(&queue, &cluster, &sig);
         assert_eq!(
             d1.iter().map(|d| d.job_id).collect::<Vec<_>>(),
             d2.iter().map(|d| d.job_id).collect::<Vec<_>>()
@@ -428,7 +479,24 @@ mod tests {
         let cluster = cluster();
         let queue = vec![qjob(1, 2, 1.0)];
         let mut p = FcfsPolicy { cap_w: Some(150.0) };
-        let d = p.dispatch(&queue, &cluster, &SchedSignals::default());
+        let d = p.dispatch_collect(&queue, &cluster, &SchedSignals::default());
         assert_eq!(d[0].power_cap_w, 150.0);
+    }
+
+    #[test]
+    fn dispatch_appends_without_clearing() {
+        // The contract is "append to a caller-cleared buffer": a policy must
+        // not clear pre-existing entries (the driver relies on clearing once
+        // per dispatch, wrappers rely on appending).
+        let cluster = cluster();
+        let queue = vec![qjob(7, 2, 1.0)];
+        let sentinel = Decision {
+            job_id: JobId(999),
+            power_cap_w: 1.0,
+        };
+        let mut out = vec![sentinel];
+        FcfsPolicy::default().dispatch(&queue, &cluster, &SchedSignals::default(), &mut out);
+        assert_eq!(out[0], sentinel);
+        assert_eq!(out.len(), 2);
     }
 }

@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Month of the year (1-based like civil usage).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Month {
     /// January
     Jan = 1,
@@ -130,9 +128,7 @@ pub fn days_in_year(year: i32) -> u32 {
 }
 
 /// A civil calendar date.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CalDate {
     /// Civil year (e.g. 2020).
     pub year: i32,
@@ -150,7 +146,11 @@ impl CalDate {
             day >= 1 && day <= days_in_month(year, m),
             "invalid day {day} for {year}-{month:02}"
         );
-        CalDate { year, month: m, day }
+        CalDate {
+            year,
+            month: m,
+            day,
+        }
     }
 
     /// Zero-based day-of-year for this date.
@@ -165,52 +165,49 @@ impl CalDate {
         days + (self.day - 1)
     }
 
+    /// Serial day number (days since 1970-01-01), computed in O(1) with
+    /// Howard Hinnant's `days_from_civil` algorithm. This sits under every
+    /// per-candidate / per-hour calendar lookup in world generation, so it
+    /// must not walk years.
+    pub fn serial_day(self) -> i64 {
+        let y = self.year as i64 - i64::from(self.month.number() <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let m = self.month.number() as i64;
+        let mp = if m > 2 { m - 3 } else { m + 9 }; // March-based month
+        let doy = (153 * mp + 2) / 5 + self.day as i64 - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe - 719_468
+    }
+
+    /// The date for a serial day number (inverse of [`CalDate::serial_day`],
+    /// Hinnant's `civil_from_days`, O(1)).
+    pub fn from_serial_day(z: i64) -> CalDate {
+        let z = z + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let day = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+        let year = (y + i64::from(m <= 2)) as i32;
+        CalDate {
+            year,
+            month: Month::from_number(m),
+            day,
+        }
+    }
+
     /// Days elapsed from `self` to `other` (may be negative).
     pub fn days_until(self, other: CalDate) -> i64 {
-        fn days_from_civil_epoch(d: CalDate) -> i64 {
-            // Days since 0000-01-01 using year-by-year accumulation.
-            // The simulation only spans decades, so O(years) is fine.
-            let mut total: i64 = 0;
-            if d.year >= 0 {
-                for y in 0..d.year {
-                    total += days_in_year(y) as i64;
-                }
-            } else {
-                for y in d.year..0 {
-                    total -= days_in_year(y) as i64;
-                }
-            }
-            total + d.day_of_year() as i64
-        }
-        days_from_civil_epoch(other) - days_from_civil_epoch(self)
+        other.serial_day() - self.serial_day()
     }
 
     /// The date `days` after this one (days may be large).
     pub fn plus_days(self, days: i64) -> CalDate {
-        let mut year = self.year;
-        let mut doy = self.day_of_year() as i64 + days;
-        while doy < 0 {
-            year -= 1;
-            doy += days_in_year(year) as i64;
-        }
-        while doy >= days_in_year(year) as i64 {
-            doy -= days_in_year(year) as i64;
-            year += 1;
-        }
-        // Convert day-of-year back to month/day.
-        let mut rem = doy as u32;
-        for m in Month::ALL {
-            let dim = days_in_month(year, m);
-            if rem < dim {
-                return CalDate {
-                    year,
-                    month: m,
-                    day: rem + 1,
-                };
-            }
-            rem -= dim;
-        }
-        unreachable!("day-of-year exhausted months")
+        CalDate::from_serial_day(self.serial_day() + days)
     }
 
     /// The year-month bucket containing this date.
@@ -235,14 +232,18 @@ impl CalDate {
 
 impl fmt::Display for CalDate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:04}-{:02}-{:02}", self.year, self.month.number(), self.day)
+        write!(
+            f,
+            "{:04}-{:02}-{:02}",
+            self.year,
+            self.month.number(),
+            self.day
+        )
     }
 }
 
 /// A (year, month) bucket used for monthly aggregation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct YearMonth {
     /// Civil year.
     pub year: i32,
@@ -372,6 +373,33 @@ mod tests {
         assert_eq!(CalDate::new(2020, 3, 1).day_of_year(), 60); // leap Feb
         assert_eq!(CalDate::new(2021, 3, 1).day_of_year(), 59);
         assert_eq!(CalDate::new(2020, 12, 31).day_of_year(), 365);
+    }
+
+    #[test]
+    fn serial_day_roundtrip_and_epoch() {
+        // 1970-01-01 is serial day 0 by construction.
+        assert_eq!(CalDate::new(1970, 1, 1).serial_day(), 0);
+        assert_eq!(CalDate::from_serial_day(0), CalDate::new(1970, 1, 1));
+        // Round-trip across leap boundaries, century rules and the sim era.
+        for (y, m, d) in [
+            (1969, 12, 31),
+            (2000, 2, 29),
+            (1900, 3, 1),
+            (2020, 1, 1),
+            (2020, 2, 29),
+            (2021, 12, 31),
+            (2400, 2, 29),
+        ] {
+            let date = CalDate::new(y, m, d);
+            assert_eq!(CalDate::from_serial_day(date.serial_day()), date, "{date}");
+        }
+        // Serial days are consecutive across an entire leap year.
+        let mut s = CalDate::new(2020, 1, 1).serial_day();
+        for day in 1..=366 {
+            let next = CalDate::new(2020, 1, 1).plus_days(day).serial_day();
+            assert_eq!(next, s + 1, "day {day}");
+            s = next;
+        }
     }
 
     #[test]

@@ -83,8 +83,16 @@ mod tests {
     #[test]
     fn streams_are_deterministic() {
         let hub = RngHub::new(42);
-        let a: Vec<u64> = hub.stream("weather").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = hub.stream("weather").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = hub
+            .stream("weather")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = hub
+            .stream("weather")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -108,10 +116,7 @@ mod tests {
 
     #[test]
     fn different_roots_differ() {
-        assert_ne!(
-            RngHub::new(1).seed_for("x"),
-            RngHub::new(2).seed_for("x")
-        );
+        assert_ne!(RngHub::new(1).seed_for("x"), RngHub::new(2).seed_for("x"));
     }
 
     #[test]

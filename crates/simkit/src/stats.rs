@@ -152,7 +152,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
             e * e
         })
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Some(LinearFit {
         slope,
         intercept,
@@ -201,11 +205,7 @@ pub struct SegmentedDoubling {
 
 /// Fit exponential growth `y = a·2^(x/T)` on both sides of `break_x`,
 /// returning the doubling times `T`. `ys` must be positive.
-pub fn segmented_doubling_fit(
-    xs: &[f64],
-    ys: &[f64],
-    break_x: f64,
-) -> Option<SegmentedDoubling> {
+pub fn segmented_doubling_fit(xs: &[f64], ys: &[f64], break_x: f64) -> Option<SegmentedDoubling> {
     let log2ys: Vec<f64> = ys.iter().map(|y| y.log2()).collect();
     let (mut xb, mut yb, mut xa, mut ya) = (vec![], vec![], vec![], vec![]);
     for (&x, &ly) in xs.iter().zip(&log2ys) {

@@ -16,7 +16,7 @@ where
     R: Send,
     F: Fn(&P) -> R + Sync,
 {
-    params.par_iter().map(|p| f(p)).collect()
+    params.par_iter().map(f).collect()
 }
 
 /// Run `f` over every parameter with a per-cell deterministic RNG hub.

@@ -90,7 +90,11 @@ impl ConferenceCalendar {
 
         // NLP / Speech.
         add("EACL", NlpSpeech, vec![d(2020, 10, 7)]); // biennial (2021 ed.)
-        add("InterSpeech", NlpSpeech, vec![d(2020, 3, 30), d(2021, 3, 26)]);
+        add(
+            "InterSpeech",
+            NlpSpeech,
+            vec![d(2020, 3, 30), d(2021, 3, 26)],
+        );
         add("EMNLP", NlpSpeech, vec![d(2020, 6, 1), d(2021, 5, 17)]);
         add("AKBC", NlpSpeech, vec![d(2020, 2, 14), d(2021, 2, 15)]);
         add("ICASSP", NlpSpeech, vec![d(2020, 10, 19), d(2021, 10, 6)]);
@@ -101,9 +105,17 @@ impl ConferenceCalendar {
         add("WMT", NlpSpeech, vec![d(2020, 6, 15), d(2021, 8, 5)]);
 
         // Computer vision.
-        add("ICME", ComputerVision, vec![d(2020, 12, 13), d(2021, 12, 12)]);
+        add(
+            "ICME",
+            ComputerVision,
+            vec![d(2020, 12, 13), d(2021, 12, 12)],
+        );
         add("ICIP", ComputerVision, vec![d(2020, 2, 5), d(2021, 2, 10)]);
-        add("SIGGRAPH", ComputerVision, vec![d(2020, 1, 22), d(2021, 1, 27)]);
+        add(
+            "SIGGRAPH",
+            ComputerVision,
+            vec![d(2020, 1, 22), d(2021, 1, 27)],
+        );
         add("MIDL", ComputerVision, vec![d(2020, 1, 17), d(2021, 1, 28)]);
         add("ICCV", ComputerVision, vec![d(2021, 3, 17)]); // odd years
         add("FG", ComputerVision, vec![d(2020, 7, 20), d(2021, 8, 2)]);
@@ -281,7 +293,9 @@ mod tests {
         let from = CalDate::new(2020, 6, 1);
         let to = CalDate::new(2020, 7, 1);
         let in_june = cal.deadlines_between(from, to);
-        assert!(in_june.iter().all(|d| d.month.number() == 6 && d.year == 2020));
+        assert!(in_june
+            .iter()
+            .all(|d| d.month.number() == 6 && d.year == 2020));
         // NeurIPS 2020 (Jun 5) is in there.
         assert!(in_june.contains(&CalDate::new(2020, 6, 5)));
     }

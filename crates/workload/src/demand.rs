@@ -122,8 +122,19 @@ impl DemandModel {
     fn raw_deadline_multiplier(&self, hour: f64) -> f64 {
         let ramp_h = self.config.ramp_days * 24.0;
         let lull_h = self.config.lull_days * 24.0;
+        // Only deadlines in `(hour - lull_h, hour + ramp_h)` can contribute;
+        // the list is sorted, so binary-search the active window instead of
+        // scanning every deadline per call (this sits under every thinning
+        // candidate of trace generation). The loop keeps the original
+        // branch conditions, so the sum is bit-identical to a full scan.
+        let start = self
+            .deadline_hours
+            .partition_point(|&dh| dh <= hour - lull_h);
+        let end = self
+            .deadline_hours
+            .partition_point(|&dh| dh < hour + ramp_h);
         let mut m = 1.0;
-        for &dh in &self.deadline_hours {
+        for &dh in &self.deadline_hours[start..end] {
             let dt = dh - hour; // hours until the deadline
             if dt > 0.0 && dt < ramp_h {
                 // Quadratic build-up toward the deadline.
@@ -257,7 +268,10 @@ mod tests {
             before_near > before_far,
             "near {before_near:.3} vs far {before_far:.3}"
         );
-        assert!(after < before_near, "lull {after:.3} vs peak {before_near:.3}");
+        assert!(
+            after < before_near,
+            "lull {after:.3} vs peak {before_near:.3}"
+        );
     }
 
     #[test]
@@ -283,11 +297,7 @@ mod tests {
             monthly_activity: [1.0; 12],
             ..DemandConfig::default()
         };
-        let peaky = DemandModel::new(
-            flat_months.clone(),
-            &ConferenceCalendar::table_i(),
-            &cal(),
-        );
+        let peaky = DemandModel::new(flat_months.clone(), &ConferenceCalendar::table_i(), &cal());
         let rolling = DemandModel::new(
             DemandConfig {
                 rolling: true,
@@ -301,8 +311,8 @@ mod tests {
         let rolling_rates = rolling.rate_series(&cal(), hours);
         // Totals agree within a few percent (the mean multiplier is
         // integrated over the deadline span, not the exact window).
-        let ratio = rolling_rates.values().iter().sum::<f64>()
-            / peaky_rates.values().iter().sum::<f64>();
+        let ratio =
+            rolling_rates.values().iter().sum::<f64>() / peaky_rates.values().iter().sum::<f64>();
         assert!((0.9..1.1).contains(&ratio), "total ratio {ratio:.3}");
         // And the rolling monthly profile is flatter.
         let peaky_monthly: Vec<f64> = peaky_rates

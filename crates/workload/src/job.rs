@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::users::UserId;
 
 /// Unique job identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
 /// What the job computes.
@@ -61,7 +59,7 @@ impl QueueClass {
 }
 
 /// One schedulable job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Job {
     /// Unique id.
     pub id: JobId,
@@ -277,10 +275,7 @@ mod tests {
         let dist = SizeDistribution::default();
         let mut rng = RngHub::new(3).stream("gpus");
         let n = 20_000;
-        let ones = (0..n)
-            .filter(|_| dist.sample_gpus(&mut rng) == 1)
-            .count() as f64
-            / n as f64;
+        let ones = (0..n).filter(|_| dist.sample_gpus(&mut rng) == 1).count() as f64 / n as f64;
         assert!((ones - 0.35).abs() < 0.02, "P(gpus=1) ≈ {ones:.3}");
     }
 

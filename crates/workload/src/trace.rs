@@ -193,7 +193,9 @@ mod tests {
         let (g, hub) = generator(13);
         let hours = 90 * 24;
         let jobs = g.generate(hours, &hub);
-        let expected: f64 = g.demand().rate_series(g.population_calendar(), hours)
+        let expected: f64 = g
+            .demand()
+            .rate_series(g.population_calendar(), hours)
             .values()
             .iter()
             .sum();
@@ -208,7 +210,10 @@ mod tests {
     fn urgent_users_fill_urgent_queue() {
         let (g, hub) = generator(14);
         let jobs = g.generate(45 * 24, &hub);
-        let urgent: Vec<&Job> = jobs.iter().filter(|j| j.queue == QueueClass::Urgent).collect();
+        let urgent: Vec<&Job> = jobs
+            .iter()
+            .filter(|j| j.queue == QueueClass::Urgent)
+            .collect();
         assert!(!urgent.is_empty());
         for j in &urgent {
             let u = g.population().get(j.user).unwrap();
@@ -221,7 +226,10 @@ mod tests {
     fn green_queue_jobs_are_deferrable() {
         let (g, hub) = generator(15);
         let jobs = g.generate(45 * 24, &hub);
-        let green: Vec<&Job> = jobs.iter().filter(|j| j.queue == QueueClass::Green).collect();
+        let green: Vec<&Job> = jobs
+            .iter()
+            .filter(|j| j.queue == QueueClass::Green)
+            .collect();
         assert!(!green.is_empty(), "expected some green-queue jobs");
         for j in &green {
             assert!(j.deferrable);

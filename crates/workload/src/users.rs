@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::calendar::Area;
 
 /// Unique user identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct UserId(pub u32);
 
 /// One user's (private) type and activity profile.
@@ -86,9 +84,8 @@ impl UserPopulation {
             } else {
                 rng.gen_range(0.0..0.6)
             };
-            let green = (config.mean_green_preference
-                + rng.gen_range(-0.35..0.35f64))
-            .clamp(0.0, 1.0);
+            let green =
+                (config.mean_green_preference + rng.gen_range(-0.35..0.35f64)).clamp(0.0, 1.0);
             let area = sample_area(&config.area_mix, &mut rng);
             users.push(UserProfile {
                 id: UserId(i),
@@ -187,8 +184,7 @@ mod tests {
     #[test]
     fn activity_normalized_to_unit_mean() {
         let p = pop(3);
-        let mean: f64 =
-            p.users().iter().map(|u| u.activity_mult).sum::<f64>() / p.len() as f64;
+        let mean: f64 = p.users().iter().map(|u| u.activity_mult).sum::<f64>() / p.len() as f64;
         assert!((mean - 1.0).abs() < 1e-9);
     }
 

@@ -14,11 +14,9 @@ fn main() {
     base.horizon_hours = 120 * 24; // Jan–Apr 2020
 
     let baseline = SimDriver::run(&base);
-    let shifted = SimDriver::run(
-        &base
-            .clone()
-            .with_policy(PolicyKind::CarbonAware { green_threshold: 0.065 }),
-    );
+    let shifted = SimDriver::run(&base.clone().with_policy(PolicyKind::CarbonAware {
+        green_threshold: 0.065,
+    }));
 
     println!("=== carbon-aware temporal shifting (same workload trace) ===");
     println!(
@@ -28,7 +26,11 @@ fn main() {
     for run in [&baseline, &shifted] {
         println!(
             "{:<16} {:>12.0} {:>12.0} {:>14.2} {:>12.2}",
-            if std::ptr::eq(run, &baseline) { "easy-backfill" } else { "carbon-aware" },
+            if std::ptr::eq(run, &baseline) {
+                "easy-backfill"
+            } else {
+                "carbon-aware"
+            },
             run.telemetry.total_energy_kwh(),
             run.telemetry.total_carbon_kg(),
             run.ledger.energy_weighted_green_share() * 100.0,

@@ -8,8 +8,8 @@
 
 use greener_world::core::ablations::e12_restructure;
 use greener_world::core::scenario::Scenario;
-use greener_world::workload::ConferenceCalendar;
 use greener_world::simkit::calendar::YearMonth;
+use greener_world::workload::ConferenceCalendar;
 
 fn main() {
     let cal = ConferenceCalendar::table_i();

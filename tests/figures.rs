@@ -8,7 +8,9 @@ use greener_world::core::scenario::Scenario;
 use greener_world::workload::ConferenceCalendar;
 
 fn two_year_run() -> RunResult {
-    SimDriver::run(&Scenario::two_year_small(20220101))
+    // Keep in sync with `greener_bench::seeds::WORLD` (the root package
+    // does not depend on the bench crate).
+    SimDriver::run(&Scenario::two_year_small(20220107))
 }
 
 #[test]
@@ -128,7 +130,9 @@ fn table1_matches_paper_inventory() {
         ]
     );
     let all: Vec<&str> = t.rows.iter().flat_map(|(_, c)| c.iter().copied()).collect();
-    for name in ["NeurIPS", "ICLR", "AAAI", "KDD", "ICRA", "ICCV", "EMNLP", "ICASSP"] {
+    for name in [
+        "NeurIPS", "ICLR", "AAAI", "KDD", "ICRA", "ICCV", "EMNLP", "ICASSP",
+    ] {
         assert!(all.contains(&name), "Table I missing {name}");
     }
 }

@@ -6,7 +6,7 @@ use greener_world::core::ablations::{
 };
 use greener_world::core::driver::SimDriver;
 use greener_world::core::optimize::{
-    ActivityMeasure, Eq1Problem, Eq2Decomposition, EnergyObjective,
+    ActivityMeasure, EnergyObjective, Eq1Problem, Eq2Decomposition,
 };
 use greener_world::core::scenario::Scenario;
 use greener_world::sched::PolicyKind;

@@ -1,0 +1,261 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the combinator chains the workspace actually uses —
+//! `slice.par_iter().map(f).collect()`, `slice.par_iter().enumerate()
+//! .map(f).collect()` and `range.into_par_iter().map(f).collect()` — with
+//! real parallelism via `std::thread::scope`, chunking indices across
+//! `available_parallelism()` workers and concatenating per-chunk results so
+//! input order is preserved exactly like rayon's indexed collect.
+
+/// Run `f(0..n)` across worker threads, preserving index order.
+fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    (lo..hi).map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("worker thread panicked"));
+        }
+    });
+    out
+}
+
+/// Parallel iterator over a slice (`par_iter`).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { items: self.items }
+    }
+
+    /// Lazily map each item.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// `par_iter().enumerate()` adapter.
+pub struct ParEnumerate<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParEnumerate<'a, T> {
+    /// Lazily map each `(index, item)` pair.
+    pub fn map<R, F>(self, f: F) -> ParEnumMap<'a, T, F>
+    where
+        F: Fn((usize, &'a T)) -> R + Sync,
+        R: Send,
+    {
+        ParEnumMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Mapped slice iterator, evaluated in parallel by `collect`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Evaluate across threads, preserving input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered_vec(par_map_indexed(self.items.len(), |i| {
+            (self.f)(&self.items[i])
+        }))
+    }
+}
+
+/// Mapped enumerated slice iterator.
+pub struct ParEnumMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParEnumMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'a T)) -> R + Sync,
+{
+    /// Evaluate across threads, preserving input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered_vec(par_map_indexed(self.items.len(), |i| {
+            (self.f)((i, &self.items[i]))
+        }))
+    }
+}
+
+/// Parallel iterator over an index range (`into_par_iter`).
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParRange {
+    /// Lazily map each index.
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        ParRangeMap {
+            start: self.start,
+            end: self.end,
+            f,
+        }
+    }
+}
+
+/// Mapped range iterator.
+pub struct ParRangeMap<F> {
+    start: usize,
+    end: usize,
+    f: F,
+}
+
+impl<R, F> ParRangeMap<F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    /// Evaluate across threads, preserving input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let start = self.start;
+        let n = self.end.saturating_sub(self.start);
+        C::from_ordered_vec(par_map_indexed(n, |i| (self.f)(start + i)))
+    }
+}
+
+/// Collection targets for parallel collect (only `Vec` is needed here).
+pub trait FromParallelIterator<R> {
+    /// Build from results already in input order.
+    fn from_ordered_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// Types with a `par_iter` view (`&[T]` and `Vec<T>`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type iterated.
+    type Item: Sync + 'a;
+
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Types convertible into an owning parallel iterator (`Range<usize>`).
+pub trait IntoParallelIterator {
+    /// The produced parallel iterator.
+    type Iter;
+
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+pub mod prelude {
+    //! The rayon prelude: traits needed for `par_iter` / `into_par_iter`.
+    pub use crate::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_map_preserves_order() {
+        let xs: Vec<u64> = (0..1_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_map() {
+        let xs = vec!["a", "b", "c"];
+        let out: Vec<(usize, &str)> = xs.par_iter().enumerate().map(|(i, s)| (i, *s)).collect();
+        assert_eq!(out, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+
+    #[test]
+    fn range_map() {
+        let out: Vec<usize> = (3..10).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, vec![9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let xs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let out: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides just
+//! enough surface for the workspace to compile: the `Serialize` /
+//! `Deserialize` trait names (blanket-implemented for every type, since no
+//! code in the workspace performs actual serialization) and the matching
+//! no-op derive macros. Swap back to real serde by repointing the
+//! workspace dependency once a registry is reachable — no source changes
+//! are needed because the names and import paths match.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
