@@ -6,29 +6,36 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use greener_core::driver::SimDriver;
 use greener_core::scenario::Scenario;
 use greener_forecast::ForecasterKind;
-use greener_simkit::des::EventQueue;
+use greener_simkit::calq::CalendarQueue;
+use greener_simkit::des::{EventQueue, EventScheduler};
 use greener_simkit::rng::RngHub;
 use greener_simkit::time::SimTime;
 use std::hint::black_box;
+
+/// Schedule/pop churn through any scheduler core: pseudo-random times via
+/// splitmix so the structure actually works for its ordering.
+fn churn<Q: EventScheduler<u64>>(n: u64) -> u64 {
+    let mut q = Q::with_hints(n as usize, 1_000_000);
+    for i in 0..n {
+        let t = greener_simkit::rng::splitmix64(i) % 1_000_000;
+        q.schedule(SimTime(t), i);
+    }
+    let mut acc = 0u64;
+    while let Some((_, e)) = q.pop() {
+        acc = acc.wrapping_add(e);
+    }
+    acc
+}
 
 fn bench_des(c: &mut Criterion) {
     let mut g = c.benchmark_group("des");
     for &n in &[10_000u64, 100_000] {
         g.throughput(Throughput::Elements(n));
-        g.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut q: EventQueue<u64> = EventQueue::with_capacity(n as usize);
-                // Pseudo-random times via splitmix so the heap actually works.
-                for i in 0..n {
-                    let t = greener_simkit::rng::splitmix64(i) % 1_000_000;
-                    q.schedule(SimTime(t), i);
-                }
-                let mut acc = 0u64;
-                while let Some((_, e)) = q.pop() {
-                    acc = acc.wrapping_add(e);
-                }
-                black_box(acc)
-            })
+        g.bench_with_input(BenchmarkId::new("schedule_pop_heap", n), &n, |b, &n| {
+            b.iter(|| black_box(churn::<EventQueue<u64>>(n)))
+        });
+        g.bench_with_input(BenchmarkId::new("schedule_pop_calendar", n), &n, |b, &n| {
+            b.iter(|| black_box(churn::<CalendarQueue<u64>>(n)))
         });
     }
     g.finish();
@@ -63,6 +70,12 @@ fn bench_world(c: &mut Criterion) {
     // stresses signal building and queue application end to end.
     g.bench_function("dispatch_heavy_90d", |b| {
         let s = greener_bench::scenarios::dispatch_heavy_90d(greener_bench::seeds::WORLD);
+        b.iter(|| black_box(SimDriver::run(&s)))
+    });
+    // Bursty arrivals: deep queues that flood in spikes and drain against
+    // completions — the worst case for backfill's candidate search.
+    g.bench_function("dispatch_burst_7d", |b| {
+        let s = greener_bench::scenarios::dispatch_burst_7d(greener_bench::seeds::WORLD);
         b.iter(|| black_box(SimDriver::run(&s)))
     });
     g.finish();

@@ -1,17 +1,23 @@
 //! Emit a machine-readable engine-performance snapshot (`BENCH_engine.json`).
 //!
 //! ```sh
-//! cargo run --release -p greener-bench --bin perfjson            # writes BENCH_engine.json
-//! cargo run --release -p greener-bench --bin perfjson -- -       # prints to stdout only
+//! cargo run --release -p greener-bench --bin perfjson             # writes BENCH_engine.json
+//! cargo run --release -p greener-bench --bin perfjson -- -        # prints to stdout only
+//! cargo run --release -p greener-bench --bin perfjson -- --smoke - # 1 timed run/scenario (CI)
 //! ```
 //!
-//! Times the three canonical engine scenarios — `driver_quick_30d`,
-//! `driver_small_2y` and the saturated-queue `dispatch_heavy_90d` — and
-//! records runs/sec plus per-run wall time so future PRs have a perf
-//! trajectory to compare against. JSON is hand-formatted (the vendored
-//! serde stand-in has no serializer).
+//! Times the four canonical engine scenarios — `driver_quick_30d`,
+//! `driver_small_2y`, the saturated-queue `dispatch_heavy_90d` and the
+//! bursty `dispatch_burst_7d` — and records runs/sec, per-run wall time and
+//! waiting-queue depth stats (max and mean over hourly telemetry, so the
+//! dispatch stress level each scenario exerts is visible next to its
+//! timing). JSON is hand-formatted (the vendored serde stand-in has no
+//! serializer).
+//!
+//! `--smoke` runs each scenario once after warm-up: CI uses it to keep the
+//! bench binary from rotting without paying for stable timings.
 
-use greener_bench::scenarios::dispatch_heavy_90d;
+use greener_bench::scenarios::{dispatch_burst_7d, dispatch_heavy_90d};
 use greener_core::driver::SimDriver;
 use greener_core::scenario::Scenario;
 use std::time::Instant;
@@ -21,6 +27,8 @@ struct Measurement {
     runs: usize,
     secs_per_run: f64,
     completed_jobs: usize,
+    max_queue_depth: u32,
+    mean_queue_depth: f64,
 }
 
 fn time_scenario(
@@ -29,8 +37,21 @@ fn time_scenario(
     min_runs: usize,
     budget_secs: f64,
 ) -> Measurement {
-    // Warm-up run (also yields the job count for a sanity column).
-    let completed = SimDriver::run(s).jobs.completed;
+    // Warm-up run (also yields the job count and queue-depth stats).
+    let warm = SimDriver::run(s);
+    let completed = warm.jobs.completed;
+    let depths: Vec<u32> = warm
+        .telemetry
+        .frames()
+        .iter()
+        .map(|f| f.queue_len)
+        .collect();
+    let max_queue_depth = depths.iter().copied().max().unwrap_or(0);
+    let mean_queue_depth = if depths.is_empty() {
+        0.0
+    } else {
+        depths.iter().map(|&d| d as f64).sum::<f64>() / depths.len() as f64
+    };
     let started = Instant::now();
     let mut runs = 0usize;
     while runs < min_runs || (started.elapsed().as_secs_f64() < budget_secs && runs < 50) {
@@ -38,43 +59,68 @@ fn time_scenario(
         runs += 1;
     }
     let secs_per_run = started.elapsed().as_secs_f64() / runs as f64;
-    eprintln!("[perfjson] {name}: {secs_per_run:.3} s/run ({runs} runs, {completed} jobs)");
+    eprintln!(
+        "[perfjson] {name}: {secs_per_run:.3} s/run ({runs} runs, {completed} jobs, \
+         queue depth max {max_queue_depth} / mean {mean_queue_depth:.1})"
+    );
     Measurement {
         name,
         runs,
         secs_per_run,
         completed_jobs: completed,
+        max_queue_depth,
+        mean_queue_depth,
     }
 }
 
 fn main() {
-    let to_stdout = std::env::args().nth(1).as_deref() == Some("-");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // Smoke mode: one timed run per scenario (plus the warm-up), so CI can
+    // prove the bench binary still runs without waiting for stable timings.
+    // Single-run timings are noise, so smoke mode never overwrites the
+    // curated BENCH_engine.json trajectory — it always prints to stdout.
+    let to_stdout = smoke || args.iter().any(|a| a == "-");
+    let (min_runs, short_budget, long_budget) = if smoke { (1, 0.0, 0.0) } else { (3, 3.0, 10.0) };
 
     let measurements = [
-        time_scenario("driver_quick_30d", &Scenario::quick(30, 3), 3, 3.0),
+        time_scenario(
+            "driver_quick_30d",
+            &Scenario::quick(30, 3),
+            min_runs,
+            short_budget,
+        ),
         time_scenario(
             "driver_small_2y",
             &Scenario::two_year_small(greener_bench::seeds::WORLD),
-            3,
-            10.0,
+            min_runs,
+            long_budget,
         ),
         time_scenario(
             "dispatch_heavy_90d",
             &dispatch_heavy_90d(greener_bench::seeds::WORLD),
-            3,
-            10.0,
+            min_runs,
+            long_budget,
+        ),
+        time_scenario(
+            "dispatch_burst_7d",
+            &dispatch_burst_7d(greener_bench::seeds::WORLD),
+            min_runs,
+            short_budget,
         ),
     ];
 
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"secs_per_run\": {:.6}, \"runs_per_sec\": {:.6}, \"runs\": {}, \"completed_jobs\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"secs_per_run\": {:.6}, \"runs_per_sec\": {:.6}, \"runs\": {}, \"completed_jobs\": {}, \"max_queue_depth\": {}, \"mean_queue_depth\": {:.1}}}{}\n",
             m.name,
             m.secs_per_run,
             1.0 / m.secs_per_run,
             m.runs,
             m.completed_jobs,
+            m.max_queue_depth,
+            m.mean_queue_depth,
             if i + 1 < measurements.len() { "," } else { "" }
         ));
     }

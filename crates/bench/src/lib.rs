@@ -36,4 +36,20 @@ pub mod scenarios {
         s.trace.demand.base_rate_per_hour = 6.0;
         s
     }
+
+    /// The bursty-arrival scenario: one week on a 32-GPU cluster with a
+    /// violent diurnal swing (near-silent nights, ~20×-base afternoon
+    /// spikes). Each burst floods a deep waiting queue that the scheduler
+    /// then drains against a trickle of completions — the worst case for
+    /// backfill's candidate search, which is exactly what the fit-indexed
+    /// waiting queue is supposed to keep cheap. `perfjson` also logs the
+    /// queue-depth stats so the stress level is visible in the snapshot.
+    pub fn dispatch_burst_7d(seed: u64) -> Scenario {
+        let mut s = Scenario::quick(7, seed);
+        s.name = "dispatch-burst-7d".into();
+        s.trace.demand.base_rate_per_hour = 10.0;
+        s.trace.demand.diurnal_fraction = 0.98;
+        s.trace.demand.surge_mult = 2.0;
+        s
+    }
 }

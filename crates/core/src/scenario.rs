@@ -18,6 +18,23 @@ use serde::{Deserialize, Serialize};
 
 use crate::strategy::PurchaseStrategy;
 
+/// Which event-scheduler core drives the simulation's event loop.
+///
+/// Both cores pop the exact same event sequence (`greener-simkit` pins this
+/// with a property test, and the driver's golden determinism test pins the
+/// end-to-end results bit-for-bit), so this is purely a performance knob:
+/// the calendar queue pops the dominant hourly-tick stream in O(1) instead
+/// of O(log pending).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerCore {
+    /// Calendar/bucket queue ([`greener_simkit::calq::CalendarQueue`]) —
+    /// the default.
+    Calendar,
+    /// Binary heap ([`greener_simkit::des::EventQueue`]) — the reference
+    /// implementation golden tests compare against.
+    Heap,
+}
+
 /// How the carbon-aware scheduler obtains its green-share forecast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ForecastMode {
@@ -61,6 +78,9 @@ pub struct Scenario {
     pub strategy: PurchaseStrategy,
     /// Wait-time threshold counted as an SLO violation, hours.
     pub slo_wait_hours: f64,
+    /// Event-scheduler core for the driver's event loop (performance knob;
+    /// results are identical across cores).
+    pub scheduler: SchedulerCore,
 }
 
 impl Scenario {
@@ -83,6 +103,7 @@ impl Scenario {
             forecast: ForecastMode::Oracle,
             strategy: PurchaseStrategy::None,
             slo_wait_hours: 24.0,
+            scheduler: SchedulerCore::Calendar,
         }
     }
 
@@ -152,6 +173,12 @@ impl Scenario {
     /// Builder-style: replace the seed.
     pub fn with_seed(mut self, seed: u64) -> Scenario {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style: replace the event-scheduler core.
+    pub fn with_scheduler(mut self, scheduler: SchedulerCore) -> Scenario {
+        self.scheduler = scheduler;
         self
     }
 

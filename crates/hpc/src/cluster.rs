@@ -80,12 +80,29 @@ pub enum AllocError {
 }
 
 /// Mutable cluster state.
+///
+/// IT power is maintained *incrementally*: [`Cluster::it_power`] is O(1),
+/// assembled from an allocated-gang power sum and an active-node count that
+/// are updated on every allocate/release/recap instead of re-summed over
+/// all allocations per query (the simulation driver queries power on every
+/// event, so the re-sum was a per-event O(running jobs) cost).
+///
+/// Note the floating-point consequence: a running `+=`/`-=` sum visits
+/// gangs in allocation order, not `HashMap` iteration order, so the low
+/// bits of `it_power()` differ from the old fresh re-sum. The sequence is
+/// still fully deterministic (same events → same adds/subtracts → same
+/// bits), and the sum snaps back to exactly `0.0` whenever the cluster
+/// drains, which bounds cancellation drift between idle periods.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     spec: ClusterSpec,
     free_per_node: Vec<u32>,
     allocations: HashMap<JobId, Allocation>,
     free_total: u32,
+    /// Σ over allocations of `gpus × power_at(cap, util)`, watts.
+    alloc_power_w: f64,
+    /// Nodes hosting ≥ 1 allocated GPU.
+    active_nodes: u32,
 }
 
 impl Cluster {
@@ -98,7 +115,19 @@ impl Cluster {
             free_per_node,
             allocations: HashMap::new(),
             free_total,
+            alloc_power_w: 0.0,
+            active_nodes: 0,
         }
+    }
+
+    /// One gang's contribution to the allocated-power sum, watts.
+    fn gang_power_w(&self, alloc: &Allocation) -> f64 {
+        alloc.gpus() as f64
+            * self
+                .spec
+                .gpu
+                .power_at(alloc.power_cap_w, alloc.utilization)
+                .value()
     }
 
     /// The static spec.
@@ -175,8 +204,12 @@ impl Cluster {
             if remaining == 0 {
                 break;
             }
-            let take = remaining.min(self.free_per_node[n as usize]);
+            let free = self.free_per_node[n as usize];
+            let take = remaining.min(free);
             if take > 0 {
+                if free == self.spec.gpus_per_node {
+                    self.active_nodes += 1; // idle node wakes up
+                }
                 self.free_per_node[n as usize] -= take;
                 pieces.push((n, take));
                 remaining -= take;
@@ -185,14 +218,13 @@ impl Cluster {
         debug_assert_eq!(remaining, 0, "free_total said it fits");
         self.free_total -= gpus;
         let cap = self.spec.gpu.clamp_cap(power_cap_w);
-        self.allocations.insert(
-            job,
-            Allocation {
-                pieces,
-                power_cap_w: cap,
-                utilization: utilization.clamp(0.0, 1.0),
-            },
-        );
+        let alloc = Allocation {
+            pieces,
+            power_cap_w: cap,
+            utilization: utilization.clamp(0.0, 1.0),
+        };
+        self.alloc_power_w += self.gang_power_w(&alloc);
+        self.allocations.insert(job, alloc);
         Ok(())
     }
 
@@ -204,48 +236,59 @@ impl Cluster {
         for (n, g) in &alloc.pieces {
             self.free_per_node[*n as usize] += g;
             debug_assert!(self.free_per_node[*n as usize] <= self.spec.gpus_per_node);
+            if self.free_per_node[*n as usize] == self.spec.gpus_per_node {
+                self.active_nodes -= 1; // node fully drained
+            }
         }
         self.free_total += alloc.gpus();
+        if self.allocations.is_empty() {
+            // Drained cluster: snap the running sum back to exactly zero so
+            // add/subtract cancellation error cannot accumulate across
+            // busy periods.
+            self.alloc_power_w = 0.0;
+        } else {
+            self.alloc_power_w -= self.gang_power_w(&alloc);
+        }
         true
     }
 
     /// Change the power cap of a running job (DVFS-style adjustment).
     pub fn recap(&mut self, job: JobId, power_cap_w: f64) -> bool {
         let cap = self.spec.gpu.clamp_cap(power_cap_w);
-        match self.allocations.get_mut(&job) {
-            Some(a) => {
-                a.power_cap_w = cap;
-                true
-            }
-            None => false,
-        }
+        let Some(mut a) = self.allocations.remove(&job) else {
+            return false;
+        };
+        self.alloc_power_w -= self.gang_power_w(&a);
+        a.power_cap_w = cap;
+        self.alloc_power_w += self.gang_power_w(&a);
+        self.allocations.insert(job, a);
+        true
     }
 
-    /// Number of nodes hosting at least one allocated GPU.
+    /// Number of nodes hosting at least one allocated GPU (maintained
+    /// incrementally; O(1)).
     pub fn active_nodes(&self) -> u32 {
-        self.free_per_node
-            .iter()
-            .filter(|&&free| free < self.spec.gpus_per_node)
-            .count() as u32
+        self.active_nodes
     }
 
     /// Instantaneous IT power: allocated GPUs at their caps/utilizations,
     /// idle GPUs at idle draw, node overheads, fixed infrastructure.
+    ///
+    /// O(1): the allocated-gang sum and active-node count are maintained on
+    /// allocate/release/recap (see the type-level docs for the float
+    /// summation-order caveat).
     pub fn it_power(&self) -> Power {
         let gpu = &self.spec.gpu;
         let mut total = self.spec.fixed_infra_w;
         // Node overhead / idle baseline.
-        let active_nodes = self.active_nodes();
+        let active_nodes = self.active_nodes;
         total += active_nodes as f64 * self.spec.node_active_overhead_w;
         total += (self.spec.nodes - active_nodes) as f64 * self.spec.node_idle_w;
         // Idle GPUs on any node draw idle power.
         let idle_gpus = self.free_total;
         total += idle_gpus as f64 * gpu.idle_power_w;
-        // Allocated gangs.
-        for alloc in self.allocations.values() {
-            total +=
-                alloc.gpus() as f64 * gpu.power_at(alloc.power_cap_w, alloc.utilization).value();
-        }
+        // Allocated gangs (incremental running sum).
+        total += self.alloc_power_w;
         Power(total)
     }
 
@@ -266,6 +309,31 @@ impl Cluster {
             if free > self.spec.gpus_per_node {
                 return Err(format!("node {n} free {free} exceeds capacity"));
             }
+        }
+        let active_scan = self
+            .free_per_node
+            .iter()
+            .filter(|&&free| free < self.spec.gpus_per_node)
+            .count() as u32;
+        if active_scan != self.active_nodes {
+            return Err(format!(
+                "active-node count drifted: cached {} vs scan {active_scan}",
+                self.active_nodes
+            ));
+        }
+        let power_scan: f64 = self
+            .allocations
+            .values()
+            .map(|a| self.gang_power_w(a))
+            .sum();
+        // The incremental sum may differ from a fresh re-sum in the low
+        // bits (different operation order); anything beyond tiny relative
+        // error is a bookkeeping bug.
+        if (power_scan - self.alloc_power_w).abs() > 1e-6 * power_scan.abs().max(1.0) {
+            return Err(format!(
+                "alloc power drifted: cached {} vs scan {power_scan}",
+                self.alloc_power_w
+            ));
         }
         Ok(())
     }

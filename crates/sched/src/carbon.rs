@@ -13,6 +13,7 @@ use greener_simkit::time::SimTime;
 use greener_workload::QueueClass;
 
 use crate::policy::{Decision, QueuedJob, SchedPolicy, SchedSignals};
+use crate::waitq::WaitQueue;
 
 /// Carbon-aware gating around a base policy.
 pub struct CarbonAwarePolicy {
@@ -24,10 +25,10 @@ pub struct CarbonAwarePolicy {
     pub improvement_margin: f64,
     /// Hours of forecast to consult.
     pub lookahead_h: usize,
-    /// Reusable buffer holding the non-deferred queue view shown to the
-    /// base policy (jobs are plain data, so refilling it allocates nothing
-    /// once capacity has grown to the high-water mark).
-    visible: Vec<QueuedJob>,
+    /// Reusable queue holding the non-deferred view shown to the base
+    /// policy (jobs are plain data, so refilling it allocates nothing once
+    /// capacity has grown to the high-water mark).
+    visible: WaitQueue,
 }
 
 impl CarbonAwarePolicy {
@@ -39,7 +40,7 @@ impl CarbonAwarePolicy {
             green_threshold: 0.06,
             improvement_margin: 0.01,
             lookahead_h: 24,
-            visible: Vec::new(),
+            visible: WaitQueue::new(),
         }
     }
 
@@ -81,17 +82,17 @@ impl SchedPolicy for CarbonAwarePolicy {
 
     fn dispatch(
         &mut self,
-        queue: &[QueuedJob],
+        queue: &WaitQueue,
         cluster: &Cluster,
         signals: &SchedSignals<'_>,
         out: &mut Vec<Decision>,
     ) {
         // Present the base policy with the non-deferred subset, staged in
-        // the reusable `visible` buffer (taken out of `self` so the filter
+        // the reusable `visible` queue (taken out of `self` so the filter
         // can borrow `self` immutably while pushing).
         let mut visible = std::mem::take(&mut self.visible);
         visible.clear();
-        for q in queue {
+        for q in queue.iter() {
             if !self.should_defer(q, signals) {
                 visible.push(*q);
             }
@@ -142,7 +143,7 @@ impl SchedPolicy for GreenQueuePolicy {
 
     fn dispatch(
         &mut self,
-        queue: &[QueuedJob],
+        queue: &WaitQueue,
         cluster: &Cluster,
         signals: &SchedSignals<'_>,
         out: &mut Vec<Decision>,
@@ -198,7 +199,7 @@ pub fn expected_green_start(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testutil::{cluster, deferrable, qjob};
+    use crate::policy::testutil::{cluster, deferrable, qjob, wq};
     use crate::policy::FcfsPolicy;
     use greener_workload::JobId;
 
@@ -215,7 +216,7 @@ mod tests {
     fn defers_deferrable_when_green_is_coming() {
         let mut p = CarbonAwarePolicy::new(Box::new(FcfsPolicy::default()));
         let c = cluster();
-        let queue = vec![deferrable(qjob(1, 2, 1.0), 48), qjob(2, 2, 1.0)];
+        let queue = wq([deferrable(qjob(1, 2, 1.0), 48), qjob(2, 2, 1.0)]);
         let signals = dirty_signals(&[0.05, 0.08, 0.09]);
         let d = p.dispatch_collect(&queue, &c, &signals);
         let ids: Vec<JobId> = d.iter().map(|x| x.job_id).collect();
@@ -271,7 +272,7 @@ mod tests {
         urgent.job.queue = greener_workload::QueueClass::Urgent;
         let standard = qjob(2, 4, 1.0);
         let green = deferrable(qjob(3, 4, 1.0), 48);
-        let queue = vec![green, standard, urgent];
+        let queue = wq([green, standard, urgent]);
         // Green hour: everything runs; urgent first; green job capped.
         let signals = SchedSignals {
             green_share: 0.10,
@@ -290,7 +291,7 @@ mod tests {
         let mut p = GreenQueuePolicy::default();
         let c = cluster();
         let green = deferrable(qjob(3, 4, 1.0), 48);
-        let queue = vec![green];
+        let queue = wq([green]);
         let signals = SchedSignals {
             green_share: 0.03,
             ..SchedSignals::default()

@@ -17,8 +17,20 @@ pub enum PolicyKind {
     Fcfs,
     /// Shortest-job-first at nominal power.
     Sjf,
-    /// EASY backfill at nominal power.
+    /// EASY backfill at nominal power (exhaustive candidate search — the
+    /// classic semantics every paired comparison in the experiments uses).
     EasyBackfill,
+    /// EASY backfill with a bounded candidate search: at most `depth`
+    /// fit-feasible jobs are examined per dispatch, the way production
+    /// schedulers cap backfill work. Decisions are always a prefix of
+    /// [`PolicyKind::EasyBackfill`]'s (see
+    /// [`crate::policy::BackfillLimit`] for the semantics contract), so
+    /// results are *not* directly comparable with exhaustive-backfill
+    /// cells — treat the depth as part of the policy identity.
+    EasyBackfillLimited {
+        /// Max fit-feasible candidates examined per dispatch.
+        depth: u32,
+    },
     /// FCFS with a static fleet-wide power cap.
     StaticCap {
         /// Cap in watts.
@@ -60,6 +72,7 @@ impl PolicyKind {
             PolicyKind::Fcfs => "fcfs".into(),
             PolicyKind::Sjf => "sjf".into(),
             PolicyKind::EasyBackfill => "easy-backfill".into(),
+            PolicyKind::EasyBackfillLimited { depth } => format!("easy-backfill-d{depth}"),
             PolicyKind::StaticCap { cap_w } => format!("static-cap-{cap_w:.0}W"),
             PolicyKind::TempAware => "temp-aware".into(),
             PolicyKind::CarbonAware { green_threshold } => {
@@ -77,13 +90,19 @@ impl PolicyKind {
         match *self {
             PolicyKind::Fcfs => Box::new(FcfsPolicy::default()),
             PolicyKind::Sjf => Box::new(SjfPolicy::default()),
-            PolicyKind::EasyBackfill => Box::new(EasyBackfillPolicy),
-            PolicyKind::StaticCap { cap_w } => {
-                Box::new(PowerCapPolicy::new(Box::new(EasyBackfillPolicy), cap_w))
+            PolicyKind::EasyBackfill => Box::new(EasyBackfillPolicy::default()),
+            PolicyKind::EasyBackfillLimited { depth } => {
+                Box::new(EasyBackfillPolicy::with_depth(depth))
             }
-            PolicyKind::TempAware => Box::new(TempAwarePolicy::new(Box::new(EasyBackfillPolicy))),
+            PolicyKind::StaticCap { cap_w } => Box::new(PowerCapPolicy::new(
+                Box::new(EasyBackfillPolicy::default()),
+                cap_w,
+            )),
+            PolicyKind::TempAware => Box::new(TempAwarePolicy::new(Box::new(
+                EasyBackfillPolicy::default(),
+            ))),
             PolicyKind::CarbonAware { green_threshold } => {
-                let mut p = CarbonAwarePolicy::new(Box::new(EasyBackfillPolicy));
+                let mut p = CarbonAwarePolicy::new(Box::new(EasyBackfillPolicy::default()));
                 p.green_threshold = green_threshold;
                 Box::new(p)
             }
@@ -92,7 +111,7 @@ impl PolicyKind {
                 ..GreenQueuePolicy::default()
             }),
             PolicyKind::CarbonAndTempAware => {
-                let inner = TempAwarePolicy::new(Box::new(EasyBackfillPolicy));
+                let inner = TempAwarePolicy::new(Box::new(EasyBackfillPolicy::default()));
                 Box::new(CarbonAwarePolicy::new(Box::new(inner)))
             }
         }
@@ -102,7 +121,7 @@ impl PolicyKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testutil::{cluster, qjob};
+    use crate::policy::testutil::{cluster, qjob, wq};
     use crate::policy::SchedSignals;
 
     #[test]
@@ -111,6 +130,7 @@ mod tests {
             PolicyKind::Fcfs,
             PolicyKind::Sjf,
             PolicyKind::EasyBackfill,
+            PolicyKind::EasyBackfillLimited { depth: 16 },
             PolicyKind::StaticCap { cap_w: 150.0 },
             PolicyKind::TempAware,
             PolicyKind::CarbonAware {
@@ -120,7 +140,7 @@ mod tests {
             PolicyKind::CarbonAndTempAware,
         ];
         let c = cluster();
-        let queue = vec![qjob(1, 2, 1.0)];
+        let queue = wq([qjob(1, 2, 1.0)]);
         for k in kinds {
             let mut p = k.build();
             let d = p.dispatch_collect(&queue, &c, &SchedSignals::default());
@@ -158,7 +178,7 @@ mod tests {
     fn static_cap_applies() {
         let mut p = PolicyKind::StaticCap { cap_w: 140.0 }.build();
         let c = cluster();
-        let queue = vec![qjob(1, 2, 1.0)];
+        let queue = wq([qjob(1, 2, 1.0)]);
         let d = p.dispatch_collect(&queue, &c, &SchedSignals::default());
         assert_eq!(d[0].power_cap_w, 140.0);
     }

@@ -8,7 +8,8 @@
 
 use greener_hpc::Cluster;
 
-use crate::policy::{Decision, QueuedJob, SchedPolicy, SchedSignals};
+use crate::policy::{Decision, SchedPolicy, SchedSignals};
+use crate::waitq::WaitQueue;
 
 /// Wrap a base policy and override every decision's cap with a fixed value.
 pub struct PowerCapPolicy {
@@ -36,7 +37,7 @@ impl SchedPolicy for PowerCapPolicy {
 
     fn dispatch(
         &mut self,
-        queue: &[QueuedJob],
+        queue: &WaitQueue,
         cluster: &Cluster,
         signals: &SchedSignals<'_>,
         out: &mut Vec<Decision>,
@@ -92,7 +93,7 @@ impl SchedPolicy for TempAwarePolicy {
 
     fn dispatch(
         &mut self,
-        queue: &[QueuedJob],
+        queue: &WaitQueue,
         cluster: &Cluster,
         signals: &SchedSignals<'_>,
         out: &mut Vec<Decision>,
@@ -110,14 +111,14 @@ impl SchedPolicy for TempAwarePolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testutil::{cluster, qjob};
+    use crate::policy::testutil::{cluster, qjob, wq};
     use crate::policy::FcfsPolicy;
 
     #[test]
     fn power_cap_overrides_base() {
         let mut p = PowerCapPolicy::new(Box::new(FcfsPolicy::default()), 175.0);
         let c = cluster();
-        let queue = vec![qjob(1, 2, 1.0), qjob(2, 2, 1.0)];
+        let queue = wq([qjob(1, 2, 1.0), qjob(2, 2, 1.0)]);
         let d = p.dispatch_collect(&queue, &c, &SchedSignals::default());
         assert_eq!(d.len(), 2);
         assert!(d.iter().all(|x| x.power_cap_w == 175.0));
@@ -151,7 +152,7 @@ mod tests {
     fn temp_policy_applies_signal_temperature() {
         let mut p = TempAwarePolicy::new(Box::new(FcfsPolicy::default()));
         let c = cluster();
-        let queue = vec![qjob(1, 2, 1.0)];
+        let queue = wq([qjob(1, 2, 1.0)]);
         let hot = SchedSignals {
             temp_f: 95.0,
             ..SchedSignals::default()

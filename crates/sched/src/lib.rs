@@ -8,7 +8,9 @@
 //! the energy-aware wrappers implement what §II proposes:
 //!
 //! * [`policy`] — the [`SchedPolicy`] trait, dispatch signals, and the
-//!   baseline policies.
+//!   baseline policies (including fit-indexed EASY backfill with the
+//!   [`policy::BackfillLimit`] knob).
+//! * [`waitq`] — the fit-indexed [`WaitQueue`] policies dispatch against.
 //! * [`energy`] — static power capping and temperature-aware capping
 //!   (tighten caps when cooling is expensive).
 //! * [`carbon`] — carbon-aware temporal shifting (defer deferrable jobs to
@@ -19,10 +21,13 @@ pub mod carbon;
 pub mod config;
 pub mod energy;
 pub mod policy;
+pub mod waitq;
 
 pub use carbon::{CarbonAwarePolicy, GreenQueuePolicy};
 pub use config::PolicyKind;
 pub use energy::{PowerCapPolicy, TempAwarePolicy};
 pub use policy::{
-    Decision, EasyBackfillPolicy, FcfsPolicy, QueuedJob, SchedPolicy, SchedSignals, SjfPolicy,
+    BackfillLimit, Decision, EasyBackfillPolicy, FcfsPolicy, QueuedJob, SchedPolicy, SchedSignals,
+    SjfPolicy,
 };
+pub use waitq::WaitQueue;

@@ -1,10 +1,10 @@
 //! The scheduling interface and baseline policies.
 //!
-//! A policy sees the waiting queue, the cluster state and an environment
-//! snapshot ([`SchedSignals`]) and appends the jobs to start *now* — each
-//! with a power cap — to a caller-owned decision buffer. The driver in
-//! `greener-core` validates and applies the decisions; policies never
-//! mutate the cluster directly.
+//! A policy sees the waiting queue (a fit-indexed [`WaitQueue`]), the
+//! cluster state and an environment snapshot ([`SchedSignals`]) and appends
+//! the jobs to start *now* — each with a power cap — to a caller-owned
+//! decision buffer. The driver in `greener-core` validates and applies the
+//! decisions; policies never mutate the cluster directly.
 //!
 //! The dispatch path is allocation-free in steady state by design:
 //! [`SchedSignals`] *borrows* its forecast and completion data from the
@@ -13,15 +13,23 @@
 //! permutation, the carbon gate's visible-queue buffer) as reusable
 //! members. Year-scale simulations dispatch hundreds of thousands of
 //! times, so per-call heap traffic dominates everything else.
+//!
+//! EASY backfill additionally exploits the queue's gang-size index
+//! ([`WaitQueue::fit_after`]) so a dispatch against a deep saturated queue
+//! only visits candidates that actually fit the free GPUs — see
+//! [`BackfillLimit`] for the (documented, opt-in) depth-limited variant.
 
 use greener_hpc::Cluster;
 use greener_simkit::time::SimTime;
 use greener_workload::{Job, JobId};
 use serde::{Deserialize, Serialize};
 
-/// A queue entry. Plain `Copy` data by design: the driver's waiting queue
-/// compacts with block memmoves, and policy scratch buffers refill without
-/// touching the heap.
+use crate::waitq::WaitQueue;
+
+/// A queue entry. Plain `Copy` data by design: the driver copies entries
+/// out of the [`WaitQueue`] when applying decisions, and policy scratch
+/// buffers (the carbon gate's filtered view) refill without touching the
+/// heap.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QueuedJob {
     /// The job.
@@ -76,7 +84,7 @@ pub trait SchedPolicy: Send {
     /// fit in `cluster.free_gpus()` (the driver asserts).
     fn dispatch(
         &mut self,
-        queue: &[QueuedJob],
+        queue: &WaitQueue,
         cluster: &Cluster,
         signals: &SchedSignals<'_>,
         out: &mut Vec<Decision>,
@@ -87,7 +95,7 @@ pub trait SchedPolicy: Send {
     /// [`SchedPolicy::dispatch`] with a reused buffer instead.
     fn dispatch_collect(
         &mut self,
-        queue: &[QueuedJob],
+        queue: &WaitQueue,
         cluster: &Cluster,
         signals: &SchedSignals<'_>,
     ) -> Vec<Decision> {
@@ -113,14 +121,14 @@ impl SchedPolicy for FcfsPolicy {
 
     fn dispatch(
         &mut self,
-        queue: &[QueuedJob],
+        queue: &WaitQueue,
         cluster: &Cluster,
         _signals: &SchedSignals<'_>,
         out: &mut Vec<Decision>,
     ) {
         let cap = self.cap_w.unwrap_or(cluster.spec().gpu.nominal_power_w);
         let mut free = cluster.free_gpus();
-        for q in queue {
+        for q in queue.iter() {
             if q.job.gpus <= free {
                 free -= q.job.gpus;
                 out.push(Decision {
@@ -148,19 +156,20 @@ impl SchedPolicy for SjfPolicy {
 
     fn dispatch(
         &mut self,
-        queue: &[QueuedJob],
+        queue: &WaitQueue,
         cluster: &Cluster,
         _signals: &SchedSignals<'_>,
         out: &mut Vec<Decision>,
     ) {
         let cap = cluster.spec().gpu.nominal_power_w;
         self.order.clear();
-        self.order.extend(0..queue.len() as u32);
+        self.order.extend(queue.live_positions().map(|(p, _)| p));
         // Unstable sort to avoid the stable sort's per-call merge-buffer
-        // allocation; the index tiebreak reproduces stable order exactly,
-        // so decisions are deterministic.
+        // allocation; the position tiebreak (positions are arrival-ordered
+        // and unique) reproduces stable order exactly, so decisions are
+        // deterministic.
         self.order.sort_unstable_by(|&a, &b| {
-            let (qa, qb) = (&queue[a as usize], &queue[b as usize]);
+            let (qa, qb) = (queue.at(a), queue.at(b));
             qa.job
                 .nominal_duration()
                 .cmp(&qb.job.nominal_duration())
@@ -169,7 +178,7 @@ impl SchedPolicy for SjfPolicy {
         });
         let mut free = cluster.free_gpus();
         for &i in &self.order {
-            let q = &queue[i as usize];
+            let q = queue.at(i);
             if q.job.gpus <= free {
                 free -= q.job.gpus;
                 out.push(Decision {
@@ -181,13 +190,57 @@ impl SchedPolicy for SjfPolicy {
     }
 }
 
+/// How far EASY backfill searches the waiting queue for fill-in jobs.
+///
+/// This is a *policy-semantics* knob, not just a performance one, so the
+/// default is conservative:
+///
+/// * [`BackfillLimit::Exhaustive`] (default) — consider every fit-feasible
+///   candidate behind the blocked head, exactly like the classic
+///   full-queue scan. Paired policy comparisons (same seed, different
+///   policy) keep their published semantics, and the driver's golden
+///   determinism test pins the decisions bit-for-bit.
+/// * [`BackfillLimit::Depth(k)`] — examine at most `k` *viable* candidates
+///   per dispatch (jobs the fit index cannot prove rejected — see
+///   [`WaitQueue::backfill_candidates`]), the way production schedulers
+///   bound backfill work. Because candidates are examined in the same
+///   order with the same accounting, the depth-limited decision set is
+///   always a **prefix** of the exhaustive one (a property test pins
+///   this): it can only *miss* backfill opportunities, never invent new
+///   ones, so SLO/wait metrics degrade gracefully rather than diverging.
+///
+/// [`BackfillLimit::Depth(k)`]: BackfillLimit::Depth
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BackfillLimit {
+    /// Consider every candidate (classic EASY semantics; the default).
+    #[default]
+    Exhaustive,
+    /// Examine at most this many fit-feasible candidates per dispatch.
+    Depth(u32),
+}
+
 /// EASY backfill: FCFS with a reservation for the head job; later jobs may
 /// jump the queue only if they fit now *and* finish before the head job's
 /// reservation (so the head is never delayed).
+///
+/// The candidate search runs over the queue's gang-size fit index
+/// ([`WaitQueue::fit_after`]): instead of scanning thousands of queued jobs
+/// that cannot fit the free GPUs, it merges only the size classes that do —
+/// visiting exactly the candidates the classic scan would have evaluated,
+/// in the same order, so exhaustive-mode decisions are unchanged.
 #[derive(Debug, Default, Clone)]
-pub struct EasyBackfillPolicy;
+pub struct EasyBackfillPolicy {
+    /// Candidate budget per dispatch (see [`BackfillLimit`]).
+    pub limit: BackfillLimit,
+}
 
 impl EasyBackfillPolicy {
+    /// Depth-limited variant (see [`BackfillLimit::Depth`]).
+    pub fn with_depth(depth: u32) -> EasyBackfillPolicy {
+        EasyBackfillPolicy {
+            limit: BackfillLimit::Depth(depth),
+        }
+    }
     /// Earliest time `gpus` become available given current free GPUs and
     /// the running-completion profile (sorted soonest-first).
     fn reservation_time(
@@ -218,34 +271,38 @@ impl SchedPolicy for EasyBackfillPolicy {
 
     fn dispatch(
         &mut self,
-        queue: &[QueuedJob],
+        queue: &WaitQueue,
         cluster: &Cluster,
         signals: &SchedSignals<'_>,
         out: &mut Vec<Decision>,
     ) {
         let cap = cluster.spec().gpu.nominal_power_w;
         let mut free = cluster.free_gpus();
-        let mut idx = 0;
-        // Start the FCFS prefix that fits.
-        while idx < queue.len() && queue[idx].job.gpus <= free {
-            free -= queue[idx].job.gpus;
-            out.push(Decision {
-                job_id: queue[idx].job.id,
-                power_cap_w: cap,
-            });
-            idx += 1;
+        // Start the FCFS prefix that fits; remember the blocked head.
+        let mut blocked = None;
+        for (pos, q) in queue.live_positions() {
+            if q.job.gpus <= free {
+                free -= q.job.gpus;
+                out.push(Decision {
+                    job_id: q.job.id,
+                    power_cap_w: cap,
+                });
+            } else {
+                blocked = Some((pos, q.job.gpus));
+                break;
+            }
         }
-        if idx >= queue.len() {
-            return;
-        }
+        let Some((head_pos, head_needs)) = blocked else {
+            return; // everything fit
+        };
         // Head job blocked: compute its reservation against the (already
         // sorted) completion profile.
-        let head = &queue[idx].job;
         let completions = signals.running_completions;
-        let shadow = Self::reservation_time(free, head.gpus, completions, signals.now);
+        let shadow = Self::reservation_time(free, head_needs, completions, signals.now);
         // Backfill: any later job that fits now and finishes before shadow,
-        // or that leaves enough GPUs for the head at shadow time.
-        let head_needs = head.gpus;
+        // or that leaves enough GPUs for the head at shadow time. The fit
+        // index yields exactly the candidates a full arrival-order scan
+        // with a shrinking `free` would have evaluated.
         let mut spare_at_shadow = {
             // GPUs free at shadow time if we start nothing else.
             let mut f = free;
@@ -256,10 +313,26 @@ impl SchedPolicy for EasyBackfillPolicy {
             }
             f
         };
-        for q in &queue[idx + 1..] {
-            if q.job.gpus > free {
-                continue;
-            }
+        let budget = match self.limit {
+            BackfillLimit::Exhaustive => u32::MAX,
+            BackfillLimit::Depth(k) => k,
+        };
+        // The candidate iterator prunes provable rejects class-wise: a
+        // candidate is accepted iff it finishes inside the shadow window
+        // (duration ≤ d_max) or its gang fits the spare budget, so classes
+        // failing both wholesale never even get visited. The authoritative
+        // per-candidate test stays below — the iterator may only *over*-
+        // yield (boundary duration class), never hide an accept.
+        let d_max = shadow.0.saturating_sub(signals.now.0);
+        let spare_budget = spare_at_shadow.saturating_sub(head_needs);
+        let mut candidates = queue.backfill_candidates(head_pos, free, d_max, spare_budget);
+        let mut examined = 0u32;
+        while examined < budget {
+            let spare_budget = spare_at_shadow.saturating_sub(head_needs);
+            let Some(q) = candidates.next(free, spare_budget) else {
+                break;
+            };
+            examined += 1;
             let finish = signals.now + q.job.nominal_duration();
             let ok = finish <= shadow || spare_at_shadow.saturating_sub(q.job.gpus) >= head_needs;
             if ok {
@@ -281,13 +354,13 @@ impl SchedPolicy for EasyBackfillPolicy {
 /// (debug builds only) and by policy tests.
 pub fn validate_decisions(
     decisions: &[Decision],
-    queue: &[QueuedJob],
+    queue: &WaitQueue,
     cluster: &Cluster,
 ) -> Result<(), String> {
     let mut total = 0u32;
     let mut seen = std::collections::HashSet::new();
     for d in decisions {
-        let Some(q) = queue.iter().find(|q| q.job.id == d.job_id) else {
+        let Some(q) = queue.get(d.job_id) else {
             return Err(format!("decision for unqueued job {:?}", d.job_id));
         };
         if !seen.insert(d.job_id) {
@@ -350,6 +423,11 @@ pub(crate) mod testutil {
             Some(q.job.submit + greener_simkit::time::Duration::from_hours(by_hours));
         q
     }
+
+    /// Build a [`WaitQueue`] from jobs in arrival order.
+    pub fn wq(jobs: impl IntoIterator<Item = QueuedJob>) -> WaitQueue {
+        jobs.into_iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -360,7 +438,7 @@ mod tests {
     #[test]
     fn fcfs_respects_arrival_order_and_blocks() {
         let cluster = cluster(); // 16 GPUs
-        let queue = vec![qjob(1, 8, 1.0), qjob(2, 12, 1.0), qjob(3, 2, 1.0)];
+        let queue = wq([qjob(1, 8, 1.0), qjob(2, 12, 1.0), qjob(3, 2, 1.0)]);
         let mut p = FcfsPolicy::default();
         let d = p.dispatch_collect(&queue, &cluster, &SchedSignals::default());
         // Job 1 fits (8), job 2 (12) doesn't fit in the remaining 8 → block;
@@ -373,7 +451,7 @@ mod tests {
     #[test]
     fn sjf_prefers_short_jobs() {
         let cluster = cluster();
-        let queue = vec![qjob(1, 8, 10.0), qjob(2, 8, 1.0), qjob(3, 8, 5.0)];
+        let queue = wq([qjob(1, 8, 10.0), qjob(2, 8, 1.0), qjob(3, 8, 5.0)]);
         let mut p = SjfPolicy::default();
         let d = p.dispatch_collect(&queue, &cluster, &SchedSignals::default());
         assert_eq!(d.len(), 2);
@@ -385,7 +463,7 @@ mod tests {
     #[test]
     fn sjf_scratch_is_reused_across_calls() {
         let cluster = cluster();
-        let queue = vec![qjob(1, 4, 2.0), qjob(2, 4, 1.0)];
+        let queue = wq([qjob(1, 4, 2.0), qjob(2, 4, 1.0)]);
         let mut p = SjfPolicy::default();
         let sig = SchedSignals::default();
         let d1 = p.dispatch_collect(&queue, &cluster, &sig);
@@ -408,8 +486,8 @@ mod tests {
         // GPUs are free). A 2h×4GPU job can backfill (finishes before the
         // shadow); a 20h×4GPU job cannot — at the shadow it would leave
         // only 12 GPUs for the 16-GPU head.
-        let queue = vec![qjob(1, 16, 1.0), qjob(2, 4, 20.0), qjob(3, 4, 2.0)];
-        let mut p = EasyBackfillPolicy;
+        let queue = wq([qjob(1, 16, 1.0), qjob(2, 4, 20.0), qjob(3, 4, 2.0)]);
+        let mut p = EasyBackfillPolicy::default();
         let d = p.dispatch_collect(&queue, &cluster, &signals);
         let ids: Vec<JobId> = d.iter().map(|x| x.job_id).collect();
         assert!(ids.contains(&JobId(3)), "short job should backfill");
@@ -421,8 +499,8 @@ mod tests {
     #[test]
     fn backfill_behaves_like_fcfs_when_everything_fits() {
         let cluster = cluster();
-        let queue = vec![qjob(1, 4, 1.0), qjob(2, 4, 2.0), qjob(3, 4, 3.0)];
-        let mut bf = EasyBackfillPolicy;
+        let queue = wq([qjob(1, 4, 1.0), qjob(2, 4, 2.0), qjob(3, 4, 3.0)]);
+        let mut bf = EasyBackfillPolicy::default();
         let mut fc = FcfsPolicy::default();
         let sig = SchedSignals::default();
         let d1 = bf.dispatch_collect(&queue, &cluster, &sig);
@@ -451,7 +529,7 @@ mod tests {
     #[test]
     fn validate_catches_violations() {
         let cluster = cluster();
-        let queue = vec![qjob(1, 8, 1.0)];
+        let queue = wq([qjob(1, 8, 1.0)]);
         let bad = vec![Decision {
             job_id: JobId(99),
             power_cap_w: 250.0,
@@ -477,7 +555,7 @@ mod tests {
     #[test]
     fn fcfs_cap_override() {
         let cluster = cluster();
-        let queue = vec![qjob(1, 2, 1.0)];
+        let queue = wq([qjob(1, 2, 1.0)]);
         let mut p = FcfsPolicy { cap_w: Some(150.0) };
         let d = p.dispatch_collect(&queue, &cluster, &SchedSignals::default());
         assert_eq!(d[0].power_cap_w, 150.0);
@@ -489,7 +567,7 @@ mod tests {
         // not clear pre-existing entries (the driver relies on clearing once
         // per dispatch, wrappers rely on appending).
         let cluster = cluster();
-        let queue = vec![qjob(7, 2, 1.0)];
+        let queue = wq([qjob(7, 2, 1.0)]);
         let sentinel = Decision {
             job_id: JobId(999),
             power_cap_w: 1.0,
@@ -498,5 +576,210 @@ mod tests {
         FcfsPolicy::default().dispatch(&queue, &cluster, &SchedSignals::default(), &mut out);
         assert_eq!(out[0], sentinel);
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn depth_zero_backfills_nothing_beyond_fcfs_prefix() {
+        let mut cluster = cluster(); // 16 GPUs
+        cluster.allocate(JobId(100), 12, 250.0, 1.0).unwrap();
+        let completions = [(SimTime::from_hours(10), 12u32)];
+        let signals = SchedSignals {
+            now: SimTime::ZERO,
+            running_completions: &completions,
+            ..SchedSignals::default()
+        };
+        let queue = wq([qjob(1, 16, 1.0), qjob(2, 2, 2.0), qjob(3, 2, 2.0)]);
+        let mut exhaustive = EasyBackfillPolicy::default();
+        let mut limited = EasyBackfillPolicy::with_depth(0);
+        let de = exhaustive.dispatch_collect(&queue, &cluster, &signals);
+        let dl = limited.dispatch_collect(&queue, &cluster, &signals);
+        assert_eq!(de.len(), 2, "exhaustive backfills both short jobs");
+        assert!(dl.is_empty(), "depth 0 = pure FCFS with a blocked head");
+    }
+
+    #[test]
+    fn depth_one_takes_first_candidate_only() {
+        let mut cluster = cluster();
+        cluster.allocate(JobId(100), 12, 250.0, 1.0).unwrap();
+        let completions = [(SimTime::from_hours(10), 12u32)];
+        let signals = SchedSignals {
+            now: SimTime::ZERO,
+            running_completions: &completions,
+            ..SchedSignals::default()
+        };
+        let queue = wq([qjob(1, 16, 1.0), qjob(2, 2, 2.0), qjob(3, 2, 2.0)]);
+        let mut limited = EasyBackfillPolicy::with_depth(1);
+        let d = limited.dispatch_collect(&queue, &cluster, &signals);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].job_id, JobId(2), "first candidate in arrival order");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// The classic EASY backfill as a straight-line full scan (the
+        /// pre-index implementation, kept verbatim as the semantics
+        /// reference for the property tests below).
+        fn reference_easy_backfill(
+            queue: &WaitQueue,
+            cluster: &Cluster,
+            signals: &SchedSignals<'_>,
+        ) -> Vec<Decision> {
+            let cap = cluster.spec().gpu.nominal_power_w;
+            let jobs: Vec<QueuedJob> = queue.iter().copied().collect();
+            let mut out = Vec::new();
+            let mut free = cluster.free_gpus();
+            let mut idx = 0;
+            while idx < jobs.len() && jobs[idx].job.gpus <= free {
+                free -= jobs[idx].job.gpus;
+                out.push(Decision {
+                    job_id: jobs[idx].job.id,
+                    power_cap_w: cap,
+                });
+                idx += 1;
+            }
+            if idx >= jobs.len() {
+                return out;
+            }
+            let head = &jobs[idx].job;
+            let completions = signals.running_completions;
+            let shadow =
+                EasyBackfillPolicy::reservation_time(free, head.gpus, completions, signals.now);
+            let head_needs = head.gpus;
+            let mut spare_at_shadow = {
+                let mut f = free;
+                for &(t, released) in completions {
+                    if t <= shadow {
+                        f += released;
+                    }
+                }
+                f
+            };
+            for q in &jobs[idx + 1..] {
+                if q.job.gpus > free {
+                    continue;
+                }
+                let finish = signals.now + q.job.nominal_duration();
+                let ok =
+                    finish <= shadow || spare_at_shadow.saturating_sub(q.job.gpus) >= head_needs;
+                if ok {
+                    free -= q.job.gpus;
+                    if finish > shadow {
+                        spare_at_shadow -= q.job.gpus;
+                    }
+                    out.push(Decision {
+                        job_id: q.job.id,
+                        power_cap_w: cap,
+                    });
+                }
+            }
+            out
+        }
+
+        proptest! {
+            /// The fit-indexed exhaustive backfill is decision-for-decision
+            /// identical to the classic full-queue scan, for arbitrary
+            /// queues (sizes *and* durations spanning the index's bucket
+            /// range), busy-GPU counts and completion profiles.
+            #[test]
+            fn indexed_exhaustive_matches_reference_scan(
+                jobs in prop::collection::vec((1u32..17, 1u64..2_000_000), 1..50),
+                busy in 0u32..17,
+                release_hours in prop::collection::vec(1u64..40, 0..4),
+            ) {
+                let mut cl = cluster(); // 16 GPUs
+                let busy = busy.min(16);
+                if busy > 0 {
+                    cl.allocate(JobId(1_000), busy, 250.0, 1.0).unwrap();
+                }
+                let mut completions: Vec<(SimTime, u32)> = Vec::new();
+                if busy > 0 {
+                    let mut hours = release_hours.clone();
+                    hours.sort_unstable();
+                    if hours.is_empty() {
+                        hours.push(50);
+                    }
+                    let per = (busy / hours.len() as u32).max(1);
+                    let mut left = busy;
+                    for (i, h) in hours.iter().enumerate() {
+                        let g = if i + 1 == hours.len() { left } else { per.min(left) };
+                        if g == 0 { break; }
+                        completions.push((SimTime::from_hours(*h), g));
+                        left -= g;
+                    }
+                }
+                let signals = SchedSignals {
+                    now: SimTime::ZERO,
+                    running_completions: &completions,
+                    ..SchedSignals::default()
+                };
+                let queue: WaitQueue = jobs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(g, d_secs))| {
+                        qjob_at(i as u64, g, d_secs as f64 / 3_600.0, SimTime::ZERO)
+                    })
+                    .collect();
+                let indexed = EasyBackfillPolicy::default()
+                    .dispatch_collect(&queue, &cl, &signals);
+                let reference = reference_easy_backfill(&queue, &cl, &signals);
+                prop_assert_eq!(indexed, reference);
+            }
+
+            /// Satellite guarantee: depth-limited backfill never dispatches
+            /// a job exhaustive backfill wouldn't — its decision list is a
+            /// *prefix* of the exhaustive one (FCFS prefix included), for
+            /// arbitrary queues, busy-GPU counts and completion profiles.
+            #[test]
+            fn depth_limited_is_prefix_of_exhaustive(
+                jobs in prop::collection::vec((1u32..17, 1u32..30), 1..40),
+                busy in 0u32..17,
+                release_hours in prop::collection::vec(1u64..40, 0..4),
+                depth in 0u32..8,
+            ) {
+                let mut cl = cluster(); // 16 GPUs
+                let busy = busy.min(16);
+                if busy > 0 {
+                    cl.allocate(JobId(1_000), busy, 250.0, 1.0).unwrap();
+                }
+                // Sorted completion profile releasing the busy GPUs in
+                // chunks (last chunk gets the remainder).
+                let mut completions: Vec<(SimTime, u32)> = Vec::new();
+                if busy > 0 && !release_hours.is_empty() {
+                    let mut hours = release_hours.clone();
+                    hours.sort_unstable();
+                    let per = (busy / hours.len() as u32).max(1);
+                    let mut left = busy;
+                    for (i, h) in hours.iter().enumerate() {
+                        let g = if i + 1 == hours.len() { left } else { per.min(left) };
+                        if g == 0 { break; }
+                        completions.push((SimTime::from_hours(*h), g));
+                        left -= g;
+                    }
+                } else if busy > 0 {
+                    completions.push((SimTime::from_hours(50), busy));
+                }
+                let signals = SchedSignals {
+                    now: SimTime::ZERO,
+                    running_completions: &completions,
+                    ..SchedSignals::default()
+                };
+                let queue: WaitQueue = jobs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(g, h))| qjob(i as u64, g, h as f64))
+                    .collect();
+                let de = EasyBackfillPolicy::default()
+                    .dispatch_collect(&queue, &cl, &signals);
+                let dl = EasyBackfillPolicy::with_depth(depth)
+                    .dispatch_collect(&queue, &cl, &signals);
+                prop_assert!(dl.len() <= de.len());
+                // Depth-limited must be a prefix of exhaustive.
+                prop_assert_eq!(&de[..dl.len()], &dl[..]);
+                validate_decisions(&de, &queue, &cl).unwrap();
+                validate_decisions(&dl, &queue, &cl).unwrap();
+            }
+        }
     }
 }

@@ -4,11 +4,74 @@
 //! same timestamp pop in insertion order (FIFO), which removes a whole class
 //! of nondeterminism bugs from heap-based simulators. The clock is enforced
 //! monotone: scheduling in the past panics in debug builds and is clamped to
-//! "now" in release builds.
+//! "now" in release builds; either way the clamp is counted and exposed via
+//! [`EventScheduler::clamped`], so release-mode drivers can assert the count
+//! is zero instead of silently reordering events.
+//!
+//! [`EventScheduler`] abstracts the queue so simulation drivers can be
+//! generic over the event-scheduler core. Two implementations exist:
+//!
+//! * [`EventQueue`] — the `BinaryHeap`-backed reference implementation
+//!   (O(log n) schedule/pop, golden for determinism tests);
+//! * [`crate::calq::CalendarQueue`] — a calendar/bucket queue with O(1)
+//!   amortized pop for the dominant hourly-tick stream of year-scale runs.
+//!
+//! Both pop the exact same `(time, seq)` sequence for the same schedule
+//! calls (a property test in `calq` pins this), so swapping cores never
+//! changes simulation results.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// A pluggable discrete-event scheduler core.
+///
+/// The contract every implementation must honour, bit-for-bit:
+///
+/// * events pop in `(time, insertion seq)` order — same-timestamp events
+///   are FIFO;
+/// * the clock (`now`) advances to each popped event's timestamp and never
+///   moves backwards;
+/// * scheduling in the past panics in debug builds; release builds clamp
+///   the timestamp to `now` **and** increment [`EventScheduler::clamped`].
+///
+/// Because the pop order is fully determined by the schedule calls, two
+/// different implementations driven identically produce identical
+/// simulations — which is what lets the driver treat the core as a
+/// performance knob rather than a semantic one.
+pub trait EventScheduler<E> {
+    /// An empty scheduler sized for roughly `events` total events spanning
+    /// `horizon_secs` of simulated time. Both hints are advisory.
+    fn with_hints(events: usize, horizon_secs: u64) -> Self
+    where
+        Self: Sized;
+
+    /// Current simulation time (the timestamp of the last popped event).
+    fn now(&self) -> SimTime;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// True if no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events popped so far.
+    fn processed(&self) -> u64;
+
+    /// Number of `schedule` calls whose timestamp lay in the past and was
+    /// clamped to `now`. A correct driver never clamps; this counter exists
+    /// so release builds can detect the (debug-panicking) FIFO-order hazard
+    /// instead of silently absorbing it.
+    fn clamped(&self) -> u64;
+
+    /// Schedule `event` at absolute time `at`.
+    fn schedule(&mut self, at: SimTime, event: E);
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+}
 
 /// An event scheduled at a time, with a sequence number for FIFO tie-breaks.
 #[derive(Debug, Clone)]
@@ -53,6 +116,7 @@ pub struct EventQueue<E> {
     now: SimTime,
     next_seq: u64,
     processed: u64,
+    clamped: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -69,6 +133,7 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             processed: 0,
+            clamped: 0,
         }
     }
 
@@ -80,6 +145,7 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             processed: 0,
+            clamped: 0,
         }
     }
 
@@ -107,16 +173,26 @@ impl<E> EventQueue<E> {
         self.processed
     }
 
+    /// Number of past-timestamp schedules that were clamped to `now`.
+    #[inline]
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
     /// Schedule `event` at absolute time `at`.
     ///
     /// Scheduling in the past is a logic error: debug builds panic, release
-    /// builds clamp to `now` so the simulation still makes progress.
+    /// builds clamp to `now` (counted in [`EventQueue::clamped`]) so the
+    /// simulation still makes progress.
     pub fn schedule(&mut self, at: SimTime, event: E) {
         debug_assert!(
             at >= self.now,
             "scheduled event in the past: at={at}, now={}",
             self.now
         );
+        if at < self.now {
+            self.clamped += 1;
+        }
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -152,6 +228,37 @@ impl<E> EventQueue<E> {
         self.now = SimTime::ZERO;
         self.next_seq = 0;
         self.processed = 0;
+        self.clamped = 0;
+    }
+}
+
+impl<E> EventScheduler<E> for EventQueue<E> {
+    fn with_hints(events: usize, _horizon_secs: u64) -> Self {
+        EventQueue::with_capacity(events)
+    }
+
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+
+    fn processed(&self) -> u64 {
+        EventQueue::processed(self)
+    }
+
+    fn clamped(&self) -> u64 {
+        EventQueue::clamped(self)
+    }
+
+    fn schedule(&mut self, at: SimTime, event: E) {
+        EventQueue::schedule(self, at, event)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
     }
 }
 
@@ -210,6 +317,19 @@ mod tests {
         q.schedule(SimTime(10), ());
         q.pop();
         q.schedule(SimTime(5), ());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn clamped_counts_past_schedules_in_release() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), ());
+        q.pop();
+        assert_eq!(q.clamped(), 0);
+        q.schedule(SimTime(5), ()); // in the past: clamped to now=10
+        assert_eq!(q.clamped(), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime(10), "clamped event fires at now");
     }
 
     #[test]

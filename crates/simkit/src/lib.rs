@@ -13,13 +13,18 @@
 //!   paper's 2020–21 months.
 //! * [`rng`] — named, splittable deterministic RNG streams; every stochastic
 //!   path in the workspace derives from a single root seed.
-//! * [`des`] — a minimal, stable-ordered discrete-event engine.
+//! * [`des`] — a minimal, stable-ordered discrete-event engine, plus the
+//!   [`des::EventScheduler`] trait that makes the event-scheduler core
+//!   pluggable.
+//! * [`calq`] — a calendar/bucket [`EventScheduler`] with O(1) amortized
+//!   pop for tick-dominated year-scale runs.
 //! * [`series`] — hourly time-series storage with monthly aggregation.
 //! * [`stats`] — the statistics used by the experiment harness (regression,
 //!   Pearson/Spearman correlation, quantiles, cross-correlation).
 //! * [`sweep`] — Rayon-powered deterministic parameter sweeps.
 
 pub mod calendar;
+pub mod calq;
 pub mod des;
 pub mod rng;
 pub mod series;
@@ -29,7 +34,8 @@ pub mod time;
 pub mod units;
 
 pub use calendar::{CalDate, Month, YearMonth};
-pub use des::{EventQueue, ScheduledEvent};
+pub use calq::CalendarQueue;
+pub use des::{EventQueue, EventScheduler, ScheduledEvent};
 pub use rng::RngHub;
 pub use series::{HourlySeries, MonthlyAgg, MonthlyRow};
 pub use time::{Duration, SimTime, HOUR, MINUTE, SECONDS_PER_DAY, SECONDS_PER_HOUR};
