@@ -58,6 +58,18 @@ fn bench_world(c: &mut Criterion) {
             ))
         })
     });
+    // World-generation lane: the parallel (default) schedule against the
+    // sequential reference, and weather alone — so the split the perfjson
+    // snapshot reports is also visible under criterion timing.
+    g.bench_function("worldgen_2y_parallel", |b| {
+        let s = Scenario::two_year_small(greener_bench::seeds::WORLD);
+        b.iter(|| black_box(greener_core::driver::World::build(&s)))
+    });
+    g.bench_function("worldgen_2y_sequential", |b| {
+        let s = Scenario::two_year_small(greener_bench::seeds::WORLD)
+            .with_worldgen(greener_core::scenario::WorldGen::Sequential);
+        b.iter(|| black_box(greener_core::driver::World::build(&s)))
+    });
     g.bench_function("driver_quick_30d", |b| {
         let s = Scenario::quick(30, 3);
         b.iter(|| black_box(SimDriver::run(&s)))

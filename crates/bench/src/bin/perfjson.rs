@@ -6,9 +6,12 @@
 //! cargo run --release -p greener-bench --bin perfjson -- --smoke - # 1 timed run/scenario (CI)
 //! ```
 //!
-//! Times the four canonical engine scenarios — `driver_quick_30d`,
-//! `driver_small_2y`, the saturated-queue `dispatch_heavy_90d` and the
-//! bursty `dispatch_burst_7d` — and records runs/sec, per-run wall time and
+//! Times the canonical engine scenarios — `driver_quick_30d`,
+//! `driver_small_2y`, the saturated-queue `dispatch_heavy_90d`, the bursty
+//! `dispatch_burst_7d` and the world-generation-only `worldgen_2y` lane —
+//! and records runs/sec, per-run wall time, the **world-gen vs replay
+//! split** (world generation is timed separately via `World::build`, so
+//! the trajectory shows which half of a run future PRs are moving) and
 //! waiting-queue depth stats (max and mean over hourly telemetry, so the
 //! dispatch stress level each scenario exerts is visible next to its
 //! timing). JSON is hand-formatted (the vendored serde stand-in has no
@@ -18,7 +21,7 @@
 //! bench binary from rotting without paying for stable timings.
 
 use greener_bench::scenarios::{dispatch_burst_7d, dispatch_heavy_90d};
-use greener_core::driver::SimDriver;
+use greener_core::driver::{SimDriver, World};
 use greener_core::scenario::Scenario;
 use std::time::Instant;
 
@@ -26,9 +29,24 @@ struct Measurement {
     name: &'static str,
     runs: usize,
     secs_per_run: f64,
+    /// World-generation share of a run (timed via `World::build`).
+    worldgen_secs_per_run: f64,
+    /// Replay share: total minus world-gen (0 for world-gen-only lanes).
+    replay_secs_per_run: f64,
     completed_jobs: usize,
     max_queue_depth: u32,
     mean_queue_depth: f64,
+}
+
+/// Time `f` for at least `min_runs` and until `budget_secs` elapses.
+fn time_loop<F: FnMut()>(min_runs: usize, budget_secs: f64, mut f: F) -> (usize, f64) {
+    let started = Instant::now();
+    let mut runs = 0usize;
+    while runs < min_runs || (started.elapsed().as_secs_f64() < budget_secs && runs < 50) {
+        f();
+        runs += 1;
+    }
+    (runs, started.elapsed().as_secs_f64() / runs as f64)
 }
 
 fn time_scenario(
@@ -52,24 +70,57 @@ fn time_scenario(
     } else {
         depths.iter().map(|&d| d as f64).sum::<f64>() / depths.len() as f64
     };
-    let started = Instant::now();
-    let mut runs = 0usize;
-    while runs < min_runs || (started.elapsed().as_secs_f64() < budget_secs && runs < 50) {
+    let (runs, secs_per_run) = time_loop(min_runs, budget_secs, || {
         std::hint::black_box(SimDriver::run(s));
-        runs += 1;
-    }
-    let secs_per_run = started.elapsed().as_secs_f64() / runs as f64;
+    });
+    // World-gen share, timed on its own (half the budget: it is a strict
+    // subset of the work, so it stabilizes faster).
+    let (_, worldgen_secs) = time_loop(min_runs, budget_secs / 2.0, || {
+        std::hint::black_box(World::build(s));
+    });
+    let worldgen_secs = worldgen_secs.min(secs_per_run);
+    let replay_secs = secs_per_run - worldgen_secs;
     eprintln!(
-        "[perfjson] {name}: {secs_per_run:.3} s/run ({runs} runs, {completed} jobs, \
-         queue depth max {max_queue_depth} / mean {mean_queue_depth:.1})"
+        "[perfjson] {name}: {secs_per_run:.3} s/run ({runs} runs, worldgen {worldgen_secs:.3} + \
+         replay {replay_secs:.3}, {completed} jobs, queue depth max {max_queue_depth} / mean \
+         {mean_queue_depth:.1})"
     );
     Measurement {
         name,
         runs,
         secs_per_run,
+        worldgen_secs_per_run: worldgen_secs,
+        replay_secs_per_run: replay_secs,
         completed_jobs: completed,
         max_queue_depth,
         mean_queue_depth,
+    }
+}
+
+/// World-generation-only lane: times `World::build` for the flagship
+/// two-year small world (the half of `driver_small_2y` this PR
+/// parallelized). `completed_jobs` records the synthesized trace length.
+fn time_worldgen(
+    name: &'static str,
+    s: &Scenario,
+    min_runs: usize,
+    budget_secs: f64,
+) -> Measurement {
+    let warm = World::build(s);
+    let trace_len = warm.trace.len();
+    let (runs, secs_per_run) = time_loop(min_runs, budget_secs, || {
+        std::hint::black_box(World::build(s));
+    });
+    eprintln!("[perfjson] {name}: {secs_per_run:.3} s/run ({runs} runs, {trace_len} trace jobs)");
+    Measurement {
+        name,
+        runs,
+        secs_per_run,
+        worldgen_secs_per_run: secs_per_run,
+        replay_secs_per_run: 0.0,
+        completed_jobs: trace_len,
+        max_queue_depth: 0,
+        mean_queue_depth: 0.0,
     }
 }
 
@@ -96,6 +147,12 @@ fn main() {
             min_runs,
             long_budget,
         ),
+        time_worldgen(
+            "worldgen_2y",
+            &Scenario::two_year_small(greener_bench::seeds::WORLD),
+            min_runs,
+            long_budget,
+        ),
         time_scenario(
             "dispatch_heavy_90d",
             &dispatch_heavy_90d(greener_bench::seeds::WORLD),
@@ -113,10 +170,12 @@ fn main() {
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"secs_per_run\": {:.6}, \"runs_per_sec\": {:.6}, \"runs\": {}, \"completed_jobs\": {}, \"max_queue_depth\": {}, \"mean_queue_depth\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"secs_per_run\": {:.6}, \"runs_per_sec\": {:.6}, \"worldgen_secs_per_run\": {:.6}, \"replay_secs_per_run\": {:.6}, \"runs\": {}, \"completed_jobs\": {}, \"max_queue_depth\": {}, \"mean_queue_depth\": {:.1}}}{}\n",
             m.name,
             m.secs_per_run,
             1.0 / m.secs_per_run,
+            m.worldgen_secs_per_run,
+            m.replay_secs_per_run,
             m.runs,
             m.completed_jobs,
             m.max_queue_depth,

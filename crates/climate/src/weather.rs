@@ -149,40 +149,79 @@ impl WeatherPath {
     /// Generate `hours` of weather from the configuration and RNG hub.
     ///
     /// The path is a deterministic function of `(config, calendar, hub)`.
+    /// This is the sequential reference schedule; [`Self::generate_mode`]
+    /// with `parallel = true` produces the identical path concurrently.
     pub fn generate(
         config: &WeatherConfig,
         calendar: Calendar,
         hours: usize,
         hub: &RngHub,
     ) -> WeatherPath {
-        let mut temp_rng = hub.stream("climate.temp");
-        let mut wind_rng = hub.stream("climate.wind");
-        let mut cloud_rng = hub.stream("climate.cloud");
-        let mut event_rng = hub.stream("climate.events");
+        Self::generate_mode(config, calendar, hours, hub, false)
+    }
 
-        let temp_noise = Normal::new(0.0, config.temp_sigma_f).expect("temp sigma");
-        let wind_noise = Normal::new(0.0, config.wind_sigma_ms).expect("wind sigma");
-        let cloud_noise = Normal::new(0.0, config.cloud_sigma).expect("cloud sigma");
-
-        let events = ExtremeEvent::sample_episodes(config, calendar, hours, &mut event_rng);
-
-        let mut temp_f = Vec::with_capacity(hours);
-        let mut wind_ms = Vec::with_capacity(hours);
-        let mut cloud = Vec::with_capacity(hours);
-        let (mut ta, mut wa, mut ca) = (0.0f64, 0.0f64, 0.0f64);
-        for h in 0..hours {
-            ta = config.temp_ar1 * ta + temp_noise.sample(&mut temp_rng);
-            wa = config.wind_ar1 * wa + wind_noise.sample(&mut wind_rng);
-            ca = config.cloud_ar1 * ca + cloud_noise.sample(&mut cloud_rng);
-
-            let t = SimTime::from_hours(h as u64);
-            let episodic: f64 = events.iter().map(|e| e.anomaly_f(h as u64)).sum();
-            temp_f.push(config.deterministic_temp_f(&calendar, h as u64) + ta + episodic);
-            let wind_base = interp_monthly(&config.wind_normals_ms, &calendar, t);
-            wind_ms.push((wind_base + wa).max(0.0));
-            let cloud_base = interp_monthly(&config.cloud_normals, &calendar, t);
-            cloud.push((cloud_base + ca).clamp(0.0, 1.0));
-        }
+    /// Generate the weather path, optionally running the channel passes in
+    /// parallel.
+    ///
+    /// The path decomposes into four channel passes, each consuming its own
+    /// named RNG stream (`climate.events/temp/wind/cloud`), so they can run
+    /// concurrently without changing a single draw: events + temperature on
+    /// one side of the fork (temperature adds each hour's episodic anomaly,
+    /// so it consumes the sampled events), wind ∥ cloud on the other. Every
+    /// per-hour expression is written exactly as the sequential reference
+    /// evaluates it, so `parallel = true` is bit-identical to
+    /// `parallel = false` (pinned by a test below and by the driver's
+    /// golden determinism test).
+    pub fn generate_mode(
+        config: &WeatherConfig,
+        calendar: Calendar,
+        hours: usize,
+        hub: &RngHub,
+        parallel: bool,
+    ) -> WeatherPath {
+        let ((temp_f, events), wind_ms, cloud) = greener_simkit::par::join3(
+            parallel,
+            || {
+                let mut event_rng = hub.stream("climate.events");
+                let events = ExtremeEvent::sample_episodes(config, calendar, hours, &mut event_rng);
+                let mut temp_rng = hub.stream("climate.temp");
+                let temp_noise = Normal::new(0.0, config.temp_sigma_f).expect("temp sigma");
+                let mut temp_f = Vec::with_capacity(hours);
+                let mut ta = 0.0f64;
+                for h in 0..hours {
+                    ta = config.temp_ar1 * ta + temp_noise.sample(&mut temp_rng);
+                    let episodic: f64 = events.iter().map(|e| e.anomaly_f(h as u64)).sum();
+                    temp_f.push(config.deterministic_temp_f(&calendar, h as u64) + ta + episodic);
+                }
+                (temp_f, events)
+            },
+            || {
+                let mut wind_rng = hub.stream("climate.wind");
+                let wind_noise = Normal::new(0.0, config.wind_sigma_ms).expect("wind sigma");
+                let mut wind_ms = Vec::with_capacity(hours);
+                let mut wa = 0.0f64;
+                for h in 0..hours {
+                    wa = config.wind_ar1 * wa + wind_noise.sample(&mut wind_rng);
+                    let t = SimTime::from_hours(h as u64);
+                    let wind_base = interp_monthly(&config.wind_normals_ms, &calendar, t);
+                    wind_ms.push((wind_base + wa).max(0.0));
+                }
+                wind_ms
+            },
+            || {
+                let mut cloud_rng = hub.stream("climate.cloud");
+                let cloud_noise = Normal::new(0.0, config.cloud_sigma).expect("cloud sigma");
+                let mut cloud = Vec::with_capacity(hours);
+                let mut ca = 0.0f64;
+                for h in 0..hours {
+                    ca = config.cloud_ar1 * ca + cloud_noise.sample(&mut cloud_rng);
+                    let t = SimTime::from_hours(h as u64);
+                    let cloud_base = interp_monthly(&config.cloud_normals, &calendar, t);
+                    cloud.push((cloud_base + ca).clamp(0.0, 1.0));
+                }
+                cloud
+            },
+        );
         WeatherPath {
             calendar,
             temp_f,
@@ -314,6 +353,20 @@ mod tests {
         assert_eq!(a.wind_ms, b.wind_ms);
         let c = year_path(2);
         assert_ne!(a.temp_f, c.temp_f);
+    }
+
+    #[test]
+    fn parallel_generation_is_bit_identical() {
+        for seed in [1u64, 7, 20220107] {
+            let hub = RngHub::new(seed);
+            let cfg = WeatherConfig::default();
+            let seq = WeatherPath::generate_mode(&cfg, cal2020(), 120 * 24, &hub, false);
+            let par = WeatherPath::generate_mode(&cfg, cal2020(), 120 * 24, &hub, true);
+            assert_eq!(seq.temp_f, par.temp_f);
+            assert_eq!(seq.wind_ms, par.wind_ms);
+            assert_eq!(seq.cloud, par.cloud);
+            assert_eq!(seq.events, par.events);
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use greener_workload::DeadlinePolicy;
 use serde::{Deserialize, Serialize};
 
 use crate::accounting::VarianceAnalysis;
-use crate::driver::SimDriver;
+use crate::driver::{SimDriver, World};
 use crate::scenario::{ForecastMode, Scenario};
 use crate::stress::{run_suite, StressReport};
 
@@ -59,8 +59,14 @@ pub fn e6_purchasing(base: &Scenario) -> Vec<E6Row> {
             base.clone().with_policy(carbon_aware).with_battery(),
         ),
     ];
-    let runs = greener_simkit::sweep::run(&cells, |(label, s)| {
-        let run = SimDriver::run(s);
+    // Outer level of the two-level threading model (see
+    // `greener_simkit::sweep`): cells fan out across threads. Paired
+    // design: every cell replays the base scenario's seed, so the per-cell
+    // hub goes unused and one shared world serves all cells (the cells
+    // differ only in policy/strategy, which never feed world generation).
+    let world = World::build(base);
+    let runs = greener_simkit::sweep::run_seeded(&cells, base.seed, |_, (label, s), _hub| {
+        let run = SimDriver::run_with_world(s, &world);
         (label.clone(), run)
     });
     let base_carbon = runs[0].1.telemetry.total_carbon_kg();
@@ -101,12 +107,15 @@ pub struct E7Row {
 pub fn e7_powercaps(base: &Scenario, caps: &[f64]) -> Vec<E7Row> {
     let gpu = base.cluster.gpu.clone();
     let cells: Vec<f64> = caps.to_vec();
-    greener_simkit::sweep::run(&cells, |&cap| {
+    // Paired sweep over caps: one shared world (caps only change the
+    // policy, never world generation), hub unused.
+    let world = World::build(base);
+    greener_simkit::sweep::run_seeded(&cells, base.seed, |_, &cap, _hub| {
         let s = base
             .clone()
             .with_policy(PolicyKind::StaticCap { cap_w: cap })
             .named(format!("cap-{cap:.0}W"));
-        let run = SimDriver::run(&s);
+        let run = SimDriver::run_with_world(&s, &world);
         let it_kwh: f64 = run
             .telemetry
             .frames()
@@ -213,12 +222,16 @@ pub fn e11_forecast(base: &Scenario) -> E11Report {
         ),
         ("naive".to_string(), ForecastMode::Naive),
     ];
-    let value_of_forecast = greener_simkit::sweep::run(&modes, |(label, mode)| {
-        let mut s = base.clone().with_policy(policy);
-        s.forecast = *mode;
-        let run = SimDriver::run(&s);
-        (label.clone(), run.telemetry.total_carbon_kg())
-    });
+    // One shared world: forecast mode only changes what the policy *sees*,
+    // never the world itself.
+    let world = World::build(base);
+    let value_of_forecast =
+        greener_simkit::sweep::run_seeded(&modes, base.seed, |_, (label, mode), _hub| {
+            let mut s = base.clone().with_policy(policy);
+            s.forecast = *mode;
+            let run = SimDriver::run_with_world(&s, &world);
+            (label.clone(), run.telemetry.total_carbon_kg())
+        });
     E11Report {
         green_share_backtests,
         price_backtests,
@@ -252,7 +265,7 @@ pub struct E12Row {
 /// E12 (§III): compare the paper's deadline-restructuring options (1)–(3).
 pub fn e12_restructure(base: &Scenario) -> Vec<E12Row> {
     let cells: Vec<DeadlinePolicy> = DeadlinePolicy::ALL.to_vec();
-    greener_simkit::sweep::run(&cells, |&dp| {
+    greener_simkit::sweep::run_seeded(&cells, base.seed, |_, &dp, _hub| {
         let mut s = base.clone().named(dp.label());
         s.deadline_policy = dp;
         let run = SimDriver::run(&s);

@@ -35,6 +35,26 @@ pub enum SchedulerCore {
     Heap,
 }
 
+/// How the run's world (weather, grid, trace) is synthesized.
+///
+/// Both modes produce bit-identical worlds: every generator draws from its
+/// own named RNG streams (trace shards from indexed streams), so the work
+/// can be scheduled across threads without changing a single draw. Like
+/// [`SchedulerCore`], this is purely a performance knob — `Sequential` is
+/// the reference schedule golden tests compare against, `Parallel` is the
+/// default. The driver's golden determinism test pins end-to-end equality
+/// across both modes (and CI repeats it with `RAYON_NUM_THREADS=1`, so
+/// bit-identity provably does not depend on thread count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorldGen {
+    /// Fork/join world generation: weather channels ∥ trace shards, grid
+    /// pipelined behind weather — the default.
+    Parallel,
+    /// Run every generator phase in order on the calling thread — the
+    /// reference schedule.
+    Sequential,
+}
+
 /// How the carbon-aware scheduler obtains its green-share forecast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ForecastMode {
@@ -81,6 +101,9 @@ pub struct Scenario {
     /// Event-scheduler core for the driver's event loop (performance knob;
     /// results are identical across cores).
     pub scheduler: SchedulerCore,
+    /// World-generation schedule (performance knob; results are identical
+    /// across modes).
+    pub worldgen: WorldGen,
 }
 
 impl Scenario {
@@ -104,6 +127,7 @@ impl Scenario {
             strategy: PurchaseStrategy::None,
             slo_wait_hours: 24.0,
             scheduler: SchedulerCore::Calendar,
+            worldgen: WorldGen::Parallel,
         }
     }
 
@@ -179,6 +203,12 @@ impl Scenario {
     /// Builder-style: replace the event-scheduler core.
     pub fn with_scheduler(mut self, scheduler: SchedulerCore) -> Scenario {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Builder-style: replace the world-generation schedule.
+    pub fn with_worldgen(mut self, worldgen: WorldGen) -> Scenario {
+        self.worldgen = worldgen;
         self
     }
 

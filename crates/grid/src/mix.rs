@@ -163,12 +163,78 @@ pub struct GridPath {
     pub green_share: Vec<f64>,
 }
 
+/// One shard's worth of dispatched columns (a `GridPath` block without the
+/// calendar).
+struct GridBlock {
+    demand_mw: Vec<f64>,
+    wind_mw: Vec<f64>,
+    solar_mw: Vec<f64>,
+    nuclear_mw: Vec<f64>,
+    hydro_mw: Vec<f64>,
+    other_mw: Vec<f64>,
+    gas_mw: Vec<f64>,
+    lmp_usd_mwh: Vec<f64>,
+    ci_kg_mwh: Vec<f64>,
+    green_share: Vec<f64>,
+}
+
+impl GridBlock {
+    fn with_capacity(n: usize) -> GridBlock {
+        GridBlock {
+            demand_mw: Vec::with_capacity(n),
+            wind_mw: Vec::with_capacity(n),
+            solar_mw: Vec::with_capacity(n),
+            nuclear_mw: Vec::with_capacity(n),
+            hydro_mw: Vec::with_capacity(n),
+            other_mw: Vec::with_capacity(n),
+            gas_mw: Vec::with_capacity(n),
+            lmp_usd_mwh: Vec::with_capacity(n),
+            ci_kg_mwh: Vec::with_capacity(n),
+            green_share: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// Hours per grid dispatch shard (one week, matching the trace shard
+/// granularity). Unlike the trace shards this is *not* part of the path's
+/// identity: shard edges only partition a pure per-hour computation, so any
+/// shard size produces the identical path.
+const GRID_SHARD_HOURS: usize = 7 * 24;
+
 impl GridPath {
-    /// Generate the grid path for the same horizon as `weather`.
+    /// Generate the grid path for the same horizon as `weather`
+    /// (sequential reference schedule; see [`Self::generate_mode`]).
     pub fn generate(config: &GridConfig, weather: &WeatherPath, hub: &RngHub) -> GridPath {
+        Self::generate_mode(config, weather, hub, false)
+    }
+
+    /// Generate the grid path, optionally dispatching week-blocks of hours
+    /// in parallel.
+    ///
+    /// The only stochastic input is the hourly demand-noise stream, which
+    /// is drawn up front in hour order (cheap); everything downstream is a
+    /// pure function of `(config, weather, noise[h], h)`, so the hour
+    /// blocks can be computed in any order — or concurrently — and
+    /// concatenated in index order for a bit-identical path.
+    pub fn generate_mode(
+        config: &GridConfig,
+        weather: &WeatherPath,
+        hub: &RngHub,
+        parallel: bool,
+    ) -> GridPath {
         let calendar = *weather.calendar();
         let hours = weather.hours();
         let mut noise_rng = hub.stream("grid.demand-noise");
+        let noise_u: Vec<f64> = (0..hours)
+            .map(|_| noise_rng.gen_range(-1.0..1.0f64))
+            .collect();
+
+        let shards = hours.div_ceil(GRID_SHARD_HOURS);
+        let blocks = greener_simkit::par::sharded_map(parallel, shards, |s| {
+            let lo = s * GRID_SHARD_HOURS;
+            let hi = (lo + GRID_SHARD_HOURS).min(hours);
+            Self::dispatch_hours(config, weather, &calendar, &noise_u, lo, hi)
+        });
 
         let mut path = GridPath {
             calendar,
@@ -183,16 +249,43 @@ impl GridPath {
             ci_kg_mwh: Vec::with_capacity(hours),
             green_share: Vec::with_capacity(hours),
         };
+        for b in blocks {
+            path.demand_mw.extend_from_slice(&b.demand_mw);
+            path.wind_mw.extend_from_slice(&b.wind_mw);
+            path.solar_mw.extend_from_slice(&b.solar_mw);
+            path.nuclear_mw.extend_from_slice(&b.nuclear_mw);
+            path.hydro_mw.extend_from_slice(&b.hydro_mw);
+            path.other_mw.extend_from_slice(&b.other_mw);
+            path.gas_mw.extend_from_slice(&b.gas_mw);
+            path.lmp_usd_mwh.extend_from_slice(&b.lmp_usd_mwh);
+            path.ci_kg_mwh.extend_from_slice(&b.ci_kg_mwh);
+            path.green_share.extend_from_slice(&b.green_share);
+        }
+        path
+    }
 
-        for h in 0..hours {
+    /// Dispatch hours `lo..hi` into a column block (pure; shard-safe).
+    fn dispatch_hours(
+        config: &GridConfig,
+        weather: &WeatherPath,
+        calendar: &Calendar,
+        noise_u: &[f64],
+        lo: usize,
+        hi: usize,
+    ) -> GridBlock {
+        let mut b = GridBlock::with_capacity(hi - lo);
+        // `h` indexes four hour-aligned inputs and feeds the calendar math;
+        // an iterator chain over one of them would only obscure that.
+        #[allow(clippy::needless_range_loop)]
+        for h in lo..hi {
             let temp_f = weather.temp_f[h];
-            let noise = 1.0 + config.demand_noise * noise_rng.gen_range(-1.0..1.0f64);
-            let demand = config.deterministic_demand_mw(&calendar, h as u64, temp_f) * noise;
+            let noise = 1.0 + config.demand_noise * noise_u[h];
+            let demand = config.deterministic_demand_mw(calendar, h as u64, temp_f) * noise;
 
             let wind = config.wind_capacity_mw * weather.wind_factor(h);
             let solar = config.solar_capacity_mw * weather.solar_factor(h);
-            let nuclear = config.nuclear_mw * config.nuclear_seasonal(&calendar, h as u64);
-            let hydro = config.hydro_mean_mw * config.hydro_seasonal(&calendar, h as u64);
+            let nuclear = config.nuclear_mw * config.nuclear_seasonal(calendar, h as u64);
+            let hydro = config.hydro_mean_mw * config.hydro_seasonal(calendar, h as u64);
             let other = config.other_mw;
 
             // Gas serves the residual; never negative (surplus is exported
@@ -203,7 +296,7 @@ impl GridPath {
 
             let green = (wind + solar) / total;
             let utilization = demand / (config.base_demand_mw * 1.8);
-            let lmp = price::lmp_usd_mwh(&config.price, &calendar, h as u64, utilization);
+            let lmp = price::lmp_usd_mwh(&config.price, calendar, h as u64, utilization);
             let ci = carbon::grid_intensity_kg_mwh(
                 &[
                     (FuelSource::Gas, gas),
@@ -216,18 +309,18 @@ impl GridPath {
                 config.fossil_emission_mult,
             );
 
-            path.demand_mw.push(demand);
-            path.wind_mw.push(wind);
-            path.solar_mw.push(solar);
-            path.nuclear_mw.push(nuclear);
-            path.hydro_mw.push(hydro);
-            path.other_mw.push(other);
-            path.gas_mw.push(gas);
-            path.lmp_usd_mwh.push(lmp);
-            path.ci_kg_mwh.push(ci);
-            path.green_share.push(green);
+            b.demand_mw.push(demand);
+            b.wind_mw.push(wind);
+            b.solar_mw.push(solar);
+            b.nuclear_mw.push(nuclear);
+            b.hydro_mw.push(hydro);
+            b.other_mw.push(other);
+            b.gas_mw.push(gas);
+            b.lmp_usd_mwh.push(lmp);
+            b.ci_kg_mwh.push(ci);
+            b.green_share.push(green);
         }
-        path
+        b
     }
 
     /// The anchoring calendar.
@@ -389,6 +482,23 @@ mod tests {
         let b = year_grid(7);
         assert_eq!(a.lmp_usd_mwh, b.lmp_usd_mwh);
         assert_eq!(a.green_share, b.green_share);
+    }
+
+    #[test]
+    fn parallel_generation_is_bit_identical() {
+        let cal = Calendar::new(CalDate::new(2020, 1, 1));
+        for seed in [3u64, 20220106] {
+            let hub = RngHub::new(seed);
+            // 100 days: full weeks plus a partial final shard.
+            let weather = WeatherPath::generate(&WeatherConfig::default(), cal, 100 * 24, &hub);
+            let seq = GridPath::generate_mode(&GridConfig::default(), &weather, &hub, false);
+            let par = GridPath::generate_mode(&GridConfig::default(), &weather, &hub, true);
+            assert_eq!(seq.demand_mw, par.demand_mw);
+            assert_eq!(seq.gas_mw, par.gas_mw);
+            assert_eq!(seq.lmp_usd_mwh, par.lmp_usd_mwh);
+            assert_eq!(seq.ci_kg_mwh, par.ci_kg_mwh);
+            assert_eq!(seq.green_share, par.green_share);
+        }
     }
 
     #[test]

@@ -21,11 +21,15 @@
 //! * [`series`] — hourly time-series storage with monthly aggregation.
 //! * [`stats`] — the statistics used by the experiment harness (regression,
 //!   Pearson/Spearman correlation, quantiles, cross-correlation).
-//! * [`sweep`] — Rayon-powered deterministic parameter sweeps.
+//! * [`sweep`] — Rayon-powered deterministic parameter sweeps (the *outer*
+//!   threading level: across runs).
+//! * [`par`] — structured fork/join and sharded-map helpers for *in-run*
+//!   parallelism over independent RNG streams (the *inner* level).
 
 pub mod calendar;
 pub mod calq;
 pub mod des;
+pub mod par;
 pub mod rng;
 pub mod series;
 pub mod stats;

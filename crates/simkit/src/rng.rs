@@ -128,6 +128,55 @@ mod tests {
         assert_eq!(hub.child(3).root(), hub.child(3).root());
     }
 
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::Rng;
+
+        /// First draws of a stream — enough to distinguish streams, since
+        /// equal seeds are the only way StdRng prefixes collide.
+        fn prefix(mut rng: rand::rngs::StdRng) -> [u64; 4] {
+            std::array::from_fn(|_| rng.gen())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// Shard streams are pairwise independent of each other *and*
+            /// of the unsharded stream of the same name: no seed (hence no
+            /// draw-prefix) collision between `stream(name)` and any
+            /// `stream_indexed(name, i)`, or between two shard indices.
+            /// This is what makes sharded world generation safe: a shard
+            /// can never silently replay the unsharded stream a sequential
+            /// code path also consumes.
+            #[test]
+            fn shard_streams_independent_of_unsharded(
+                root in 0u64..u64::MAX,
+                i in 0u64..10_000,
+                j in 0u64..10_000,
+            ) {
+                let hub = RngHub::new(root);
+                let name = "shard.prop";
+                prop_assert_ne!(hub.seed_for(name), hub.seed_for_indexed(name, i));
+                // Derivation is deterministic…
+                prop_assert_eq!(
+                    hub.seed_for_indexed(name, i),
+                    hub.seed_for_indexed(name, i),
+                );
+                // …and distinct across shard indices.
+                if i != j {
+                    prop_assert_ne!(
+                        prefix(hub.stream_indexed(name, i)),
+                        prefix(hub.stream_indexed(name, j)),
+                    );
+                }
+                prop_assert_ne!(
+                    prefix(hub.stream(name)),
+                    prefix(hub.stream_indexed(name, i)),
+                );
+            }
+        }
+    }
+
     #[test]
     fn splitmix_avalanche_smoke() {
         // Flipping one input bit should flip roughly half the output bits.

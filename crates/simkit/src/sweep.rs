@@ -5,6 +5,32 @@
 //! tables are stable regardless of thread scheduling). Each cell receives a
 //! deterministic [`RngHub`] derived from the sweep's root seed and the cell
 //! index, so a sweep is reproducible at any thread count.
+//!
+//! # The two-level threading model
+//!
+//! This module is the **outer** level: fan-out *across* runs (sweep cells,
+//! Monte-Carlo replications, stress suites). The **inner** level is
+//! [`crate::par`]: fork/join *inside* one run across world-generation
+//! phases that draw from independent named RNG streams. The levels compose
+//! freely because both are structured (scoped fork/join, no detached
+//! tasks) and both are deterministic at any thread count:
+//!
+//! * results depend only on `(params, root_seed)` — never on scheduling —
+//!   so `RAYON_NUM_THREADS=1` reproduces a parallel run bit-for-bit;
+//! * an outer sweep that already saturates the machine still nests inner
+//!   forks safely: scoped threads don't wait on a shared pool, so nesting
+//!   can never deadlock. It *can* oversubscribe — with a pool size of
+//!   `P = rayon::current_num_threads()`, the outer sweep runs at most `P`
+//!   cells at once and each cell's inner `par::sharded_map`/`join` calls
+//!   spawn up to `P` short-lived workers each, so the transient thread
+//!   count is O(P²) regardless of cell count. The OS timeshares them; to
+//!   bound the total, cap the pool via `RAYON_NUM_THREADS` or run the
+//!   inner level sequentially (`WorldGen::Sequential` in `greener-core`);
+//! * batch entry points (`greener-core`'s ablations / stress suites) go
+//!   through [`run_seeded`], making the outer level's seeding explicit
+//!   even for cells that derive their workload from the scenario's own
+//!   seed (paired comparisons pass the *same* scenario seed to every cell
+//!   and ignore the per-cell hub; independent-replication designs use it).
 
 use crate::rng::RngHub;
 use rayon::prelude::*;

@@ -10,7 +10,7 @@ use greener_world::workload::ConferenceCalendar;
 fn two_year_run() -> RunResult {
     // Keep in sync with `greener_bench::seeds::WORLD` (the root package
     // does not depend on the bench crate).
-    SimDriver::run(&Scenario::two_year_small(20220107))
+    SimDriver::run(&Scenario::two_year_small(20220106))
 }
 
 #[test]

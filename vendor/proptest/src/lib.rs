@@ -171,7 +171,9 @@ pub mod collection {
 pub mod prelude {
     //! One-stop import mirroring `proptest::prelude`.
 
-    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
 
     pub mod prop {
         //! The `prop::` path used by strategy expressions.
@@ -205,6 +207,22 @@ macro_rules! prop_assert_eq {
                 stringify!($right),
                 l,
                 r
+            ));
+        }
+    }};
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` != `{}` (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
             ));
         }
     }};

@@ -2,10 +2,53 @@
 //!
 //! Implements the combinator chains the workspace actually uses —
 //! `slice.par_iter().map(f).collect()`, `slice.par_iter().enumerate()
-//! .map(f).collect()` and `range.into_par_iter().map(f).collect()` — with
-//! real parallelism via `std::thread::scope`, chunking indices across
-//! `available_parallelism()` workers and concatenating per-chunk results so
-//! input order is preserved exactly like rayon's indexed collect.
+//! .map(f).collect()`, `range.into_par_iter().map(f).collect()` and
+//! `join(a, b)` — with real parallelism via `std::thread::scope`, chunking
+//! indices across [`current_num_threads`] workers and concatenating
+//! per-chunk results so input order is preserved exactly like rayon's
+//! indexed collect.
+//!
+//! Like real rayon, the worker count honours the `RAYON_NUM_THREADS`
+//! environment variable (useful for forcing single-threaded execution in
+//! determinism tests) and otherwise follows `available_parallelism()`.
+
+/// Number of worker threads the stand-in will use: `RAYON_NUM_THREADS` if
+/// set to a positive integer (matching real rayon's global-pool override),
+/// else `available_parallelism()`.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+///
+/// Falls back to plain sequential calls when only one worker is available
+/// (the closures then run on the calling thread, `a` first), matching real
+/// rayon's contract that `join` expresses *potential* parallelism.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join: second task panicked"))
+    })
+}
 
 /// Run `f(0..n)` across worker threads, preserving index order.
 fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
@@ -13,10 +56,7 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
+    let workers = current_num_threads().min(n.max(1));
     if workers <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
@@ -248,6 +288,37 @@ mod tests {
     fn range_map() {
         let out: Vec<usize> = (3..10).into_par_iter().map(|i| i * i).collect();
         assert_eq!(out, vec![9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_nests() {
+        // Nested fork/join (the shape the world generator uses): scoped
+        // threads support arbitrary nesting without a pool.
+        let ((a, b), c) = super::join(|| super::join(|| 1, || 2), || 3);
+        assert_eq!((a, b, c), (1, 2, 3));
+    }
+
+    #[test]
+    fn join_moves_captured_state() {
+        let left = [1u64, 2, 3];
+        let right = [4u64, 5];
+        let (l, r) = super::join(
+            move || left.iter().sum::<u64>(),
+            move || right.iter().sum::<u64>(),
+        );
+        assert_eq!((l, r), (6, 9));
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 
     #[test]
