@@ -78,6 +78,26 @@ fn bench_world(c: &mut Criterion) {
         let s = Scenario::two_year_small(greener_bench::seeds::WORLD);
         b.iter(|| black_box(SimDriver::run(&s)))
     });
+    // Replay-only lanes over a shared pre-built world: the full probe set
+    // (what `SimDriver::run` retains) against the aggregates-only fast
+    // path (what a sweep cell retains). The delta is the cost of hourly
+    // frame assembly + ledger growth + job-record retention.
+    g.bench_function("replay_small_2y_full", |b| {
+        let s = Scenario::two_year_small(greener_bench::seeds::WORLD);
+        let world = greener_core::driver::World::build(&s);
+        b.iter(|| black_box(SimDriver::run_with_world(&s, &world)))
+    });
+    g.bench_function("replay_small_2y_aggregates", |b| {
+        let s = Scenario::two_year_small(greener_bench::seeds::WORLD);
+        let world = greener_core::driver::World::build(&s);
+        b.iter(|| {
+            black_box(SimDriver::run_observed(
+                &s,
+                &world,
+                greener_core::probe::Observe::aggregates(),
+            ))
+        })
+    });
     // Saturated queue: thousands of waiting jobs, so every dispatch
     // stresses signal building and queue application end to end.
     g.bench_function("dispatch_heavy_90d", |b| {

@@ -11,17 +11,19 @@
 //! `dispatch_burst_7d` and the world-generation-only `worldgen_2y` lane —
 //! and records runs/sec, per-run wall time, the **world-gen vs replay
 //! split** (world generation is timed separately via `World::build`, so
-//! the trajectory shows which half of a run future PRs are moving) and
-//! waiting-queue depth stats (max and mean over hourly telemetry, so the
-//! dispatch stress level each scenario exerts is visible next to its
-//! timing). JSON is hand-formatted (the vendored serde stand-in has no
-//! serializer).
+//! the trajectory shows which half of a run future PRs are moving), the
+//! **aggregates-only replay lane** (`Observe::aggregates()` over a shared
+//! pre-built world, so the snapshot tracks the sweep fast path against the
+//! full-probe replay number) and waiting-queue depth stats (max and mean
+//! at hourly sampling, collected by the driver's `QueueDepthProbe`).
+//! JSON is hand-formatted (the vendored serde stand-in has no serializer).
 //!
 //! `--smoke` runs each scenario once after warm-up: CI uses it to keep the
 //! bench binary from rotting without paying for stable timings.
 
 use greener_bench::scenarios::{dispatch_burst_7d, dispatch_heavy_90d};
 use greener_core::driver::{SimDriver, World};
+use greener_core::probe::Observe;
 use greener_core::scenario::Scenario;
 use std::time::Instant;
 
@@ -32,7 +34,18 @@ struct Measurement {
     /// World-generation share of a run (timed via `World::build`).
     worldgen_secs_per_run: f64,
     /// Replay share: total minus world-gen (0 for world-gen-only lanes).
+    /// Derived by subtraction across independent loops, so it carries
+    /// that noise — compare the probe layer via the two directly-timed
+    /// replay lanes below instead.
     replay_secs_per_run: f64,
+    /// Full-probe replay (`run_with_world`) over a shared pre-built
+    /// world, directly timed (0 for world-gen-only lanes).
+    replay_full_secs_per_run: f64,
+    /// Aggregates-only replay over the same shared world (the sweep fast
+    /// path), directly timed — the delta to the full lane is the cost of
+    /// frame assembly + ledger growth + job-record retention (0 for
+    /// world-gen-only lanes).
+    replay_agg_secs_per_run: f64,
     completed_jobs: usize,
     max_queue_depth: u32,
     mean_queue_depth: f64,
@@ -55,21 +68,13 @@ fn time_scenario(
     min_runs: usize,
     budget_secs: f64,
 ) -> Measurement {
-    // Warm-up run (also yields the job count and queue-depth stats).
-    let warm = SimDriver::run(s);
+    // Warm-up run; the queue-depth columns come straight off the
+    // driver's `QueueDepthProbe` (aggregates-only otherwise — the
+    // warm-up retains nothing per frame or per job).
+    let world = World::build(s);
+    let warm = SimDriver::run_observed(s, &world, Observe::aggregates().with_queue_depth());
     let completed = warm.jobs.completed;
-    let depths: Vec<u32> = warm
-        .telemetry
-        .frames()
-        .iter()
-        .map(|f| f.queue_len)
-        .collect();
-    let max_queue_depth = depths.iter().copied().max().unwrap_or(0);
-    let mean_queue_depth = if depths.is_empty() {
-        0.0
-    } else {
-        depths.iter().map(|&d| d as f64).sum::<f64>() / depths.len() as f64
-    };
+    let depth = warm.queue_depth.expect("queue depth observed");
     let (runs, secs_per_run) = time_loop(min_runs, budget_secs, || {
         std::hint::black_box(SimDriver::run(s));
     });
@@ -80,10 +85,21 @@ fn time_scenario(
     });
     let worldgen_secs = worldgen_secs.min(secs_per_run);
     let replay_secs = secs_per_run - worldgen_secs;
+    // The two replay lanes share one pre-built world and one protocol
+    // (directly timed), so their delta isolates the probe layer: full
+    // probe set vs the aggregates-only fast path every sweep cell pays.
+    let (_, replay_full_secs) = time_loop(min_runs, budget_secs / 2.0, || {
+        std::hint::black_box(SimDriver::run_with_world(s, &world));
+    });
+    let (_, replay_agg_secs) = time_loop(min_runs, budget_secs / 2.0, || {
+        std::hint::black_box(SimDriver::run_observed(s, &world, Observe::aggregates()));
+    });
     eprintln!(
         "[perfjson] {name}: {secs_per_run:.3} s/run ({runs} runs, worldgen {worldgen_secs:.3} + \
-         replay {replay_secs:.3}, {completed} jobs, queue depth max {max_queue_depth} / mean \
-         {mean_queue_depth:.1})"
+         replay {replay_secs:.3}; direct replay full {replay_full_secs:.3} vs aggregates-only \
+         {replay_agg_secs:.3}, {completed} jobs, queue depth max {} / mean {:.1})",
+        depth.max,
+        depth.mean()
     );
     Measurement {
         name,
@@ -91,9 +107,11 @@ fn time_scenario(
         secs_per_run,
         worldgen_secs_per_run: worldgen_secs,
         replay_secs_per_run: replay_secs,
+        replay_full_secs_per_run: replay_full_secs,
+        replay_agg_secs_per_run: replay_agg_secs,
         completed_jobs: completed,
-        max_queue_depth,
-        mean_queue_depth,
+        max_queue_depth: depth.max,
+        mean_queue_depth: depth.mean(),
     }
 }
 
@@ -118,6 +136,8 @@ fn time_worldgen(
         secs_per_run,
         worldgen_secs_per_run: secs_per_run,
         replay_secs_per_run: 0.0,
+        replay_full_secs_per_run: 0.0,
+        replay_agg_secs_per_run: 0.0,
         completed_jobs: trace_len,
         max_queue_depth: 0,
         mean_queue_depth: 0.0,
@@ -170,12 +190,14 @@ fn main() {
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"secs_per_run\": {:.6}, \"runs_per_sec\": {:.6}, \"worldgen_secs_per_run\": {:.6}, \"replay_secs_per_run\": {:.6}, \"runs\": {}, \"completed_jobs\": {}, \"max_queue_depth\": {}, \"mean_queue_depth\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"secs_per_run\": {:.6}, \"runs_per_sec\": {:.6}, \"worldgen_secs_per_run\": {:.6}, \"replay_secs_per_run\": {:.6}, \"replay_full_probes_secs_per_run\": {:.6}, \"replay_aggregates_only_secs_per_run\": {:.6}, \"runs\": {}, \"completed_jobs\": {}, \"max_queue_depth\": {}, \"mean_queue_depth\": {:.1}}}{}\n",
             m.name,
             m.secs_per_run,
             1.0 / m.secs_per_run,
             m.worldgen_secs_per_run,
             m.replay_secs_per_run,
+            m.replay_full_secs_per_run,
+            m.replay_agg_secs_per_run,
             m.runs,
             m.completed_jobs,
             m.max_queue_depth,

@@ -125,22 +125,13 @@ fn main() {
 
     // ---- Ablations on the 1/10-scale world (documented in EXPERIMENTS.md).
     let small = Scenario::two_year_small(greener_bench::seeds::WORLD);
-    let quarter = {
-        let mut s = small.clone();
-        s.horizon_hours = 91 * 24;
-        s
-    };
+    let quarter = small.clone().with_horizon_days(91);
     let summer_month = {
-        let mut s = small.clone();
+        let mut s = small.clone().with_horizon_days(31);
         s.start = greener_simkit::calendar::CalDate::new(2020, 7, 1);
-        s.horizon_hours = 31 * 24;
         s
     };
-    let year = {
-        let mut s = small.clone();
-        s.horizon_hours = 366 * 24;
-        s
-    };
+    let year = small.clone().with_horizon_days(366);
 
     if want("e6") {
         println!("== E6 (§II-A): energy-purchasing strategies, Q1-2020 ==");
@@ -165,8 +156,7 @@ fn main() {
 
     if want("e7") {
         println!("== E7 (§II-C / ref [15]): GPU power-cap sweep, 45 days ==");
-        let mut s = small.clone();
-        s.horizon_hours = 45 * 24;
+        let s = small.clone().with_horizon_days(45);
         let rows = e7_powercaps(&s, &[100.0, 125.0, 150.0, 175.0, 200.0, 225.0, 250.0]);
         println!(
             "{:<8} {:>7} {:>13} {:>11} {:>14} {:>9}",

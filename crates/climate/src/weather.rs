@@ -31,7 +31,7 @@ pub const BOSTON_TEMP_NORMALS_F: [f64; 12] = [
 /// high (the Fig. 2 mismatch).
 pub const WIND_NORMALS_MS: [f64; 12] = [7.1, 8.3, 8.5, 8.2, 7.4, 5.6, 5.2, 5.3, 5.9, 6.7, 7.2, 6.9];
 
-/// Monthly mean cloud-cover normals in [0,1] (Jan..Dec).
+/// Monthly mean cloud-cover normals in \[0,1\] (Jan..Dec).
 pub const CLOUD_NORMALS: [f64; 12] = [
     0.62, 0.60, 0.58, 0.56, 0.54, 0.48, 0.44, 0.46, 0.50, 0.54, 0.60, 0.63,
 ];
@@ -47,7 +47,7 @@ pub struct WeatherConfig {
     pub temp_normals_f: [f64; 12],
     /// Monthly mean wind speed, m/s.
     pub wind_normals_ms: [f64; 12],
-    /// Monthly mean cloud cover in [0,1].
+    /// Monthly mean cloud cover in \[0,1\].
     pub cloud_normals: [f64; 12],
     /// Diurnal half-amplitude, °F, by month.
     pub diurnal_amplitude_f: [f64; 12],
@@ -139,7 +139,7 @@ pub struct WeatherPath {
     pub temp_f: Vec<f64>,
     /// Hourly wind speed, m/s.
     pub wind_ms: Vec<f64>,
-    /// Hourly cloud-cover fraction in [0,1].
+    /// Hourly cloud-cover fraction in \[0,1\].
     pub cloud: Vec<f64>,
     /// The extreme events injected into the path.
     pub events: Vec<ExtremeEvent>,
@@ -248,7 +248,7 @@ impl WeatherPath {
 
     /// Solar capacity factor proxy for a given hour: the product of solar
     /// elevation (day-of-year and hour-of-day dependent) and clear-sky
-    /// fraction. Dimensionless in [0,1]; the grid model scales by installed
+    /// fraction. Dimensionless in \[0,1\]; the grid model scales by installed
     /// capacity.
     pub fn solar_factor(&self, hour: usize) -> f64 {
         let t = SimTime::from_hours(hour as u64);
@@ -273,7 +273,7 @@ impl WeatherPath {
     }
 }
 
-/// Simplified wind-turbine power curve → capacity factor in [0,1].
+/// Simplified wind-turbine power curve → capacity factor in \[0,1\].
 pub fn wind_capacity_factor(wind_ms: f64) -> f64 {
     const CUT_IN: f64 = 3.0;
     const RATED: f64 = 12.0;

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::accounting::VarianceAnalysis;
 use crate::driver::{SimDriver, World};
+use crate::probe::Observe;
 use crate::scenario::{ForecastMode, Scenario};
 use crate::stress::{run_suite, StressReport};
 
@@ -64,23 +65,25 @@ pub fn e6_purchasing(base: &Scenario) -> Vec<E6Row> {
     // design: every cell replays the base scenario's seed, so the per-cell
     // hub goes unused and one shared world serves all cells (the cells
     // differ only in policy/strategy, which never feed world generation).
+    // Every E6 column is a total or a weighted total, so each cell is an
+    // aggregates-only observation.
     let world = World::build(base);
     let runs = greener_simkit::sweep::run_seeded(&cells, base.seed, |_, (label, s), _hub| {
-        let run = SimDriver::run_with_world(s, &world);
-        (label.clone(), run)
+        let out = SimDriver::run_observed(s, &world, Observe::aggregates());
+        (label.clone(), out)
     });
-    let base_carbon = runs[0].1.telemetry.total_carbon_kg();
-    let base_cost = runs[0].1.telemetry.total_cost_usd();
+    let base_carbon = runs[0].1.aggregates.carbon_kg;
+    let base_cost = runs[0].1.aggregates.cost_usd;
     runs.into_iter()
-        .map(|(strategy, run)| E6Row {
+        .map(|(strategy, out)| E6Row {
             strategy,
-            energy_kwh: run.telemetry.total_energy_kwh(),
-            carbon_kg: run.telemetry.total_carbon_kg(),
-            cost_usd: run.telemetry.total_cost_usd(),
-            green_share: run.ledger.energy_weighted_green_share(),
-            carbon_saved_pct: (1.0 - run.telemetry.total_carbon_kg() / base_carbon) * 100.0,
-            cost_saved_pct: (1.0 - run.telemetry.total_cost_usd() / base_cost) * 100.0,
-            mean_wait_hours: run.jobs.mean_wait_hours,
+            energy_kwh: out.aggregates.energy_kwh,
+            carbon_kg: out.aggregates.carbon_kg,
+            cost_usd: out.aggregates.cost_usd,
+            green_share: out.aggregates.energy_weighted_green_share(),
+            carbon_saved_pct: (1.0 - out.aggregates.carbon_kg / base_carbon) * 100.0,
+            cost_saved_pct: (1.0 - out.aggregates.cost_usd / base_cost) * 100.0,
+            mean_wait_hours: out.jobs.mean_wait_hours,
         })
         .collect()
 }
@@ -102,28 +105,27 @@ pub struct E7Row {
     pub runtime_stretch: f64,
 }
 
-/// E7 (§II-C, ref [15]): sweep fleet-wide power caps; the energy-per-work
+/// E7 (§II-C, ref \[15\]): sweep fleet-wide power caps; the energy-per-work
 /// curve has an interior optimum well below TDP.
 pub fn e7_powercaps(base: &Scenario, caps: &[f64]) -> Vec<E7Row> {
     let gpu = base.cluster.gpu.clone();
     let cells: Vec<f64> = caps.to_vec();
     // Paired sweep over caps: one shared world (caps only change the
-    // policy, never world generation), hub unused.
+    // policy, never world generation), hub unused. Each cell needs IT
+    // energy (an aggregate) plus per-job records for the stretch column —
+    // but never hourly frames, so telemetry stays off.
     let world = World::build(base);
     greener_simkit::sweep::run_seeded(&cells, base.seed, |_, &cap, _hub| {
         let s = base
             .clone()
             .with_policy(PolicyKind::StaticCap { cap_w: cap })
             .named(format!("cap-{cap:.0}W"));
-        let run = SimDriver::run_with_world(&s, &world);
-        let it_kwh: f64 = run
-            .telemetry
-            .frames()
-            .iter()
-            .map(|f| f.it_power_w / 1_000.0)
-            .sum();
-        let stretches: Vec<f64> = run
+        let out = SimDriver::run_observed(&s, &world, Observe::aggregates().with_job_records());
+        let it_kwh = out.aggregates.it_energy_kwh;
+        let stretches: Vec<f64> = out
             .job_records
+            .as_deref()
+            .expect("job records observed")
             .iter()
             .map(|j| {
                 let nominal_h = j.work_gpu_hours / j.gpus as f64;
@@ -134,8 +136,8 @@ pub fn e7_powercaps(base: &Scenario, caps: &[f64]) -> Vec<E7Row> {
             cap_w: cap,
             speed: gpu.speed_at_cap(cap),
             it_energy_kwh: it_kwh,
-            gpu_hours: run.jobs.gpu_hours_completed,
-            kwh_per_gpu_hour: it_kwh / run.jobs.gpu_hours_completed.max(1e-9),
+            gpu_hours: out.jobs.gpu_hours_completed,
+            kwh_per_gpu_hour: it_kwh / out.jobs.gpu_hours_completed.max(1e-9),
             runtime_stretch: greener_simkit::stats::mean(&stretches),
         }
     })
@@ -223,14 +225,14 @@ pub fn e11_forecast(base: &Scenario) -> E11Report {
         ("naive".to_string(), ForecastMode::Naive),
     ];
     // One shared world: forecast mode only changes what the policy *sees*,
-    // never the world itself.
+    // never the world itself. Only the carbon total is consumed, so the
+    // cells run aggregates-only.
     let world = World::build(base);
     let value_of_forecast =
         greener_simkit::sweep::run_seeded(&modes, base.seed, |_, (label, mode), _hub| {
-            let mut s = base.clone().with_policy(policy);
-            s.forecast = *mode;
-            let run = SimDriver::run_with_world(&s, &world);
-            (label.clone(), run.telemetry.total_carbon_kg())
+            let s = base.clone().with_policy(policy).with_forecast(*mode);
+            let out = SimDriver::run_observed(&s, &world, Observe::aggregates());
+            (label.clone(), out.aggregates.carbon_kg)
         });
     E11Report {
         green_share_backtests,
@@ -266,25 +268,26 @@ pub struct E12Row {
 pub fn e12_restructure(base: &Scenario) -> Vec<E12Row> {
     let cells: Vec<DeadlinePolicy> = DeadlinePolicy::ALL.to_vec();
     greener_simkit::sweep::run_seeded(&cells, base.seed, |_, &dp, _hub| {
-        let mut s = base.clone().named(dp.label());
-        s.deadline_policy = dp;
-        let run = SimDriver::run(&s);
-        let monthly = run.telemetry.monthly_power_kw();
+        // Deadline policies reshape the workload trace, so each cell
+        // builds its own world. Monthly seasonality columns need hourly
+        // telemetry; ledger and job records stay off.
+        let s = base.clone().named(dp.label()).with_deadline_policy(dp);
+        let world = World::build(&s);
+        let out = SimDriver::run_observed(&s, &world, Observe::aggregates().with_telemetry());
+        let telemetry = out.telemetry.as_ref().expect("telemetry observed");
+        let monthly = telemetry.monthly_power_kw();
         let values: Vec<f64> = monthly.iter().map(|r| r.value).collect();
-        let it_values: Vec<f64> = run
-            .telemetry
+        let it_values: Vec<f64> = telemetry
             .series_of(|f| f.it_power_w / 1_000.0)
             .monthly(greener_simkit::series::MonthlyAgg::Mean)
             .iter()
             .map(|r| r.value)
             .collect();
-        let summer: f64 = run
-            .telemetry
+        let summer: f64 = telemetry
             .frames()
             .iter()
             .filter(|f| {
-                let ym = run
-                    .telemetry
+                let ym = telemetry
                     .calendar()
                     .year_month_at(greener_simkit::time::SimTime::from_hours(f.hour));
                 (6..=8).contains(&ym.month.number())
@@ -293,13 +296,13 @@ pub fn e12_restructure(base: &Scenario) -> Vec<E12Row> {
             .sum();
         E12Row {
             policy: dp.label().into(),
-            energy_kwh: run.telemetry.total_energy_kwh(),
-            carbon_kg: run.telemetry.total_carbon_kg(),
+            energy_kwh: out.aggregates.energy_kwh,
+            carbon_kg: out.aggregates.carbon_kg,
             peak_month_power_kw: values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
             monthly_power_std_kw: greener_simkit::stats::std_dev(&values),
             monthly_it_std_kw: greener_simkit::stats::std_dev(&it_values),
-            summer_energy_share: summer / run.telemetry.total_energy_kwh(),
-            mean_wait_hours: run.jobs.mean_wait_hours,
+            summer_energy_share: summer / out.aggregates.energy_kwh,
+            mean_wait_hours: out.jobs.mean_wait_hours,
         }
     })
 }
@@ -413,9 +416,7 @@ mod tests {
     use super::*;
 
     fn small(seed: u64, days: usize) -> Scenario {
-        let mut s = Scenario::two_year_small(seed);
-        s.horizon_hours = days * 24;
-        s
+        Scenario::two_year_small(seed).with_horizon_days(days)
     }
 
     #[test]

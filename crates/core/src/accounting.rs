@@ -9,7 +9,7 @@
 //! §IV-B's estimate-variance analysis is also here: the *same* training
 //! job, accounted under different hardware/PUE/grid assumptions, yields
 //! footprint estimates spanning orders of magnitude — the paper's "5x the
-//! average lifetime emissions of a car [down] to 10⁻⁵ times that amount".
+//! average lifetime emissions of a car \[down\] to 10⁻⁵ times that amount".
 
 use greener_simkit::units::{Dollars, Energy, KgCo2};
 use serde::{Deserialize, Serialize};
@@ -103,7 +103,7 @@ pub struct FootprintAssumptions {
 
 impl FootprintAssumptions {
     /// The pessimistic end: old GPUs, coal-heavy grid, poor PUE, full
-    /// neural-architecture-search accounting (Strubell-style, ref [24]).
+    /// neural-architecture-search accounting (Strubell-style, ref \[24\]).
     pub fn pessimistic() -> FootprintAssumptions {
         FootprintAssumptions {
             label: "worst-case: old GPUs, coal grid, NAS included".into(),
@@ -116,7 +116,7 @@ impl FootprintAssumptions {
     }
 
     /// The optimistic end: TPU-class hardware in a hyperscale DC on a clean
-    /// grid, single run (Patterson-style, ref [23]).
+    /// grid, single run (Patterson-style, ref \[23\]).
     pub fn optimistic() -> FootprintAssumptions {
         FootprintAssumptions {
             label: "best-case: TPUs, clean grid, single run".into(),

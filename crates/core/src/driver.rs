@@ -9,7 +9,9 @@
 //!    ticks;
 //! 3. integrate IT power piecewise-constant between events, apply cooling
 //!    (COP at the hour's outdoor temperature), settle the hour's energy
-//!    through the purchasing strategy, and record telemetry.
+//!    through the purchasing strategy, and emit typed observation points
+//!    (hourly frame context, job submit/start/finish, purchase/settle) to
+//!    the caller's probe set (see [`crate::probe`]).
 //!
 //! Because traces are a pure function of the seed, two scenarios differing
 //! only in policy see identical workloads — every policy comparison in the
@@ -54,10 +56,18 @@
 //! * **Reusable forecast buffers** — the hourly forecast refresh writes
 //!   into one buffer via [`Forecaster::forecast_into`], and `Model` mode
 //!   keeps a single forecaster instance alive across the run.
+//! * **Probe-based observation** — the loop is also generic over a
+//!   [`RunProbes`] set: what a run *records* is declared by the caller
+//!   ([`SimDriver::run_observed`] with an [`Observe`] spec), and the
+//!   aggregates-only composition skips hourly-frame assembly, ledger
+//!   growth and job-record retention entirely. Probes are
+//!   decision-invisible (read-only observers), so every composition
+//!   observes bit-identical numbers.
 //!
 //! The golden determinism test below pins total energy/carbon/completions
 //! bit-for-bit for fixed seeds across all policy families, across both
-//! event-scheduler cores *and* across both world-generation schedules.
+//! event-scheduler cores, across both world-generation schedules *and*
+//! across probe compositions (full set vs aggregates-only).
 
 use greener_climate::WeatherPath;
 
@@ -65,7 +75,7 @@ use greener_forecast::Forecaster;
 use greener_grid::ledger::{PurchaseLedger, PurchaseRecord};
 use greener_grid::mix::GridPath;
 use greener_hpc::gpu::kind_utilization;
-use greener_hpc::{Cluster, TelemetryFrame, TelemetryLog};
+use greener_hpc::{Cluster, HourObservation, TelemetryLog, TelemetryProbe};
 use greener_sched::{Decision, QueuedJob, SchedPolicy, SchedSignals, WaitQueue};
 use greener_simkit::calendar::Calendar;
 use greener_simkit::calq::CalendarQueue;
@@ -75,6 +85,10 @@ use greener_simkit::units::{Energy, Fahrenheit};
 use greener_workload::{Job, JobId, JobKind, TraceGenerator, UserId};
 use serde::{Deserialize, Serialize};
 
+use crate::probe::{
+    AggregatesProbe, JobPoint, JobsProbe, LedgerProbe, Observe, PurchasePoint, QueueDepthProbe,
+    RunOutput, RunProbes,
+};
 use crate::scenario::{ForecastMode, Scenario, SchedulerCore, WorldGen};
 
 /// One completed job's accounting record (feeds Eq. 2's per-user `e_i`).
@@ -168,6 +182,18 @@ struct Running {
     record: JobRecord,
 }
 
+/// What one replay hands back: the probe set (now holding everything that
+/// was observed) plus the loop-side tallies probes cannot see.
+struct ReplayOutcome<O> {
+    probes: O,
+    /// Jobs submitted within the horizon (= trace length).
+    submitted: usize,
+    /// Jobs still queued or running at the end.
+    unfinished: usize,
+    /// Battery wear if a storage strategy ran.
+    battery_cycles: f64,
+}
+
 /// Forecast horizon shown to carbon-aware policies, hours.
 const FORECAST_HORIZON: usize = 24;
 
@@ -175,9 +201,9 @@ const FORECAST_HORIZON: usize = 24;
 const FORECAST_PERIOD: usize = 24;
 
 /// Mutable event-loop state. Every buffer in here persists across events;
-/// after warm-up the loop performs no heap allocation (see the module docs
-/// for the architecture).
-struct Engine<'s, Q: EventScheduler<Event>> {
+/// after warm-up the loop performs no heap allocation beyond what the
+/// attached probes retain (see the module docs for the architecture).
+struct Engine<'s, Q: EventScheduler<Event>, O: RunProbes> {
     scenario: &'s Scenario,
     grid: &'s GridPath,
     weather: &'s WeatherPath,
@@ -194,7 +220,10 @@ struct Engine<'s, Q: EventScheduler<Event>> {
     /// `(finish, gpus)` of running jobs, sorted soonest-first. Maintained
     /// incrementally on allocate/release; borrowed by every `SchedSignals`.
     completions: Vec<(SimTime, u32)>,
-    records: Vec<JobRecord>,
+    /// The caller's statically-composed probe set; receives every typed
+    /// observation point the loop emits (and nothing else — probes are
+    /// decision-invisible).
+    probes: O,
     /// Reused decision out-buffer for `SchedPolicy::dispatch`.
     decisions: Vec<Decision>,
     /// Current 24 h green-share forecast (reused; refreshed hourly).
@@ -204,7 +233,7 @@ struct Engine<'s, Q: EventScheduler<Event>> {
     hour_cursor: usize,
 }
 
-impl<Q: EventScheduler<Event>> Engine<'_, Q> {
+impl<Q: EventScheduler<Event>, O: RunProbes> Engine<'_, Q, O> {
     /// Refresh `forecast_green` for the top of `hour_cursor`.
     fn refresh_forecast(&mut self) {
         forecast_at(
@@ -299,6 +328,10 @@ impl<Q: EventScheduler<Event>> Engine<'_, Q> {
             },
         });
         self.running_count += 1;
+        self.probes.observe(&JobPoint::Started {
+            id: job.id,
+            time: now,
+        });
         true
     }
 
@@ -322,7 +355,7 @@ impl<Q: EventScheduler<Event>> Engine<'_, Q> {
             }
             k += 1;
         }
-        self.records.push(run.record);
+        self.probes.observe(&JobPoint::Finished(run.record));
         true
     }
 }
@@ -420,6 +453,35 @@ impl SimDriver {
     /// generation, and experiments can share one world across paired
     /// policy variants.
     pub fn run_with_world(scenario: &Scenario, world: &World) -> RunResult {
+        Self::check_world(scenario, world);
+        match scenario.scheduler {
+            SchedulerCore::Calendar => Self::full::<CalendarQueue<Event>>(scenario, world),
+            SchedulerCore::Heap => Self::full::<EventQueue<Event>>(scenario, world),
+        }
+    }
+
+    /// Replay a pre-built world, recording only what `observe` asks for.
+    ///
+    /// This is the declarative entry point behind every sweep: aggregate
+    /// totals and [`JobStats`] are always produced, optional outputs
+    /// mirror the [`Observe`] flags, and the all-off spec
+    /// ([`Observe::aggregates`]) monomorphizes to a replay loop with no
+    /// per-frame vector growth and no job-record retention. Probes are
+    /// decision-invisible, so every spec observes bit-identical numbers
+    /// (the golden determinism test and a property test pin this against
+    /// [`SimDriver::run`]).
+    pub fn run_observed(scenario: &Scenario, world: &World, observe: Observe) -> RunOutput {
+        Self::check_world(scenario, world);
+        match scenario.scheduler {
+            SchedulerCore::Calendar => {
+                Self::observed::<CalendarQueue<Event>>(scenario, world, observe)
+            }
+            SchedulerCore::Heap => Self::observed::<EventQueue<Event>>(scenario, world, observe),
+        }
+    }
+
+    /// Debug-check that `world` was generated for `scenario`.
+    fn check_world(scenario: &Scenario, world: &World) {
         debug_assert_eq!(
             world.seed, scenario.seed,
             "world was built from a different seed than the scenario replays"
@@ -434,15 +496,108 @@ impl SimDriver {
             scenario.cluster.total_gpus(),
             "world trace was gang-capped for a different cluster size"
         );
-        match scenario.scheduler {
-            SchedulerCore::Calendar => Self::replay::<CalendarQueue<Event>>(scenario, world),
-            SchedulerCore::Heap => Self::replay::<EventQueue<Event>>(scenario, world),
+        let _ = world;
+    }
+
+    /// The default full probe set, assembled into the classic
+    /// [`RunResult`].
+    fn full<Q: EventScheduler<Event>>(scenario: &Scenario, world: &World) -> RunResult {
+        let calendar = Calendar::new(scenario.start);
+        let probes = (
+            TelemetryProbe::with_capacity(calendar, scenario.horizon_hours),
+            (
+                LedgerProbe::new(),
+                JobsProbe::with_records(world.trace.len()),
+            ),
+        );
+        let outcome = Self::replay::<Q, _>(scenario, world, probes);
+        let (telemetry, (ledger, jobs_probe)) = outcome.probes;
+        let (jobs, records) = jobs_probe.finish(
+            outcome.submitted,
+            outcome.unfinished,
+            scenario.slo_wait_hours,
+        );
+        RunResult {
+            scenario_name: scenario.name.clone(),
+            telemetry: telemetry.into_log(),
+            ledger: ledger.into_ledger(),
+            jobs,
+            job_records: records.expect("full probe set retains records"),
+            battery_cycles: outcome.battery_cycles,
         }
     }
 
-    /// The event loop, generic over the scheduler core.
-    fn replay<Q: EventScheduler<Event>>(scenario: &Scenario, world: &World) -> RunResult {
+    /// Dispatch `observe` to a statically-composed probe set.
+    fn observed<Q: EventScheduler<Event>>(
+        scenario: &Scenario,
+        world: &World,
+        observe: Observe,
+    ) -> RunOutput {
+        if observe == Observe::aggregates() {
+            // The fast path gets its own monomorphization: no `Option`
+            // probes, nothing retained per frame or per job.
+            let probes = (AggregatesProbe::new(), JobsProbe::stats_only());
+            let outcome = Self::replay::<Q, _>(scenario, world, probes);
+            let (agg, jobs_probe) = outcome.probes;
+            let (jobs, _) = jobs_probe.finish(
+                outcome.submitted,
+                outcome.unfinished,
+                scenario.slo_wait_hours,
+            );
+            return RunOutput {
+                scenario_name: scenario.name.clone(),
+                aggregates: agg.into_aggregates(),
+                jobs,
+                battery_cycles: outcome.battery_cycles,
+                telemetry: None,
+                ledger: None,
+                job_records: None,
+                queue_depth: None,
+            };
+        }
         let calendar = Calendar::new(scenario.start);
+        let jobs_probe = if observe.job_records {
+            JobsProbe::with_records(world.trace.len())
+        } else {
+            JobsProbe::stats_only()
+        };
+        let probes = (
+            (AggregatesProbe::new(), jobs_probe),
+            (
+                (
+                    observe
+                        .telemetry
+                        .then(|| TelemetryProbe::with_capacity(calendar, scenario.horizon_hours)),
+                    observe.ledger.then(LedgerProbe::new),
+                ),
+                observe.queue_depth.then(QueueDepthProbe::new),
+            ),
+        );
+        let outcome = Self::replay::<Q, _>(scenario, world, probes);
+        let ((agg, jobs_probe), ((telemetry, ledger), queue_depth)) = outcome.probes;
+        let (jobs, records) = jobs_probe.finish(
+            outcome.submitted,
+            outcome.unfinished,
+            scenario.slo_wait_hours,
+        );
+        RunOutput {
+            scenario_name: scenario.name.clone(),
+            aggregates: agg.into_aggregates(),
+            jobs,
+            battery_cycles: outcome.battery_cycles,
+            telemetry: telemetry.map(TelemetryProbe::into_log),
+            ledger: ledger.map(LedgerProbe::into_ledger),
+            job_records: records,
+            queue_depth: queue_depth.map(QueueDepthProbe::into_stats),
+        }
+    }
+
+    /// The event loop, generic over the scheduler core and the probe set.
+    fn replay<Q: EventScheduler<Event>, O: RunProbes>(
+        scenario: &Scenario,
+        world: &World,
+        probes: O,
+    ) -> ReplayOutcome<O> {
         let hours = scenario.horizon_hours;
         let World {
             weather,
@@ -452,8 +607,6 @@ impl SimDriver {
         } = world;
 
         let mut strategy = scenario.strategy.build();
-        let mut telemetry = TelemetryLog::new(calendar);
-        let mut ledger = PurchaseLedger::new();
 
         // Event queue: all arrivals and hourly ticks up front. Completions
         // are scheduled as jobs start; since a completion only exists after
@@ -484,7 +637,7 @@ impl SimDriver {
             running,
             running_count: 0,
             completions: Vec::with_capacity(max_concurrent),
-            records: Vec::with_capacity(trace.len()),
+            probes,
             decisions: Vec::with_capacity(64),
             forecast_green: Vec::with_capacity(FORECAST_HORIZON),
             forecast_model: match scenario.forecast {
@@ -511,6 +664,12 @@ impl SimDriver {
                 Event::Arrival(idx) => {
                     let job = trace[idx as usize];
                     engine.waiting.push(QueuedJob { job, enqueued: t });
+                    let submitted = JobPoint::Submitted {
+                        job,
+                        time: t,
+                        queue_len: engine.waiting.len() as u32,
+                    };
+                    engine.probes.observe(&submitted);
                     engine.dispatch(t);
                 }
                 Event::Completion(id) => {
@@ -539,17 +698,21 @@ impl SimDriver {
                         ci_kg_mwh: grid.ci_kg_mwh[h],
                         green_share: grid.green_share[h],
                     };
-                    ledger.record(rec);
+                    engine.probes.observe(&PurchasePoint {
+                        record: rec,
+                        settle,
+                    });
 
-                    let it_w = it_energy.value() / HOUR as f64;
-                    let cool_w = cooling_j / HOUR as f64;
-                    telemetry.push(TelemetryFrame {
+                    // The hourly frame context: plain scalars the loop has
+                    // in hand anyway. What gets *retained* about the hour
+                    // (frames, ledger rows, aggregate sums) is entirely up
+                    // to the attached probes.
+                    let hour_obs = HourObservation {
                         hour: h as u64,
                         temp_f: temp.value(),
-                        it_power_w: it_w,
-                        cooling_power_w: cool_w,
-                        total_power_w: it_w + cool_w,
-                        energy_kwh: purchased.kwh(),
+                        it_energy,
+                        cooling_energy,
+                        purchased,
                         green_share: grid.green_share[h],
                         lmp_usd_mwh: grid.lmp_usd_mwh[h],
                         ci_kg_mwh: grid.ci_kg_mwh[h],
@@ -559,13 +722,9 @@ impl SimDriver {
                         queue_len: engine.waiting.len() as u32,
                         running_gpus: engine.cluster.running_gpus(),
                         gpu_utilization: engine.cluster.gpu_utilization(),
-                        pue: if it_w > 0.0 {
-                            (it_w + cool_w) / it_w
-                        } else {
-                            f64::NAN
-                        },
                         cooling_saturated: scenario.cooling.is_saturated(temp),
-                    });
+                    };
+                    engine.probes.observe(&hour_obs);
 
                     engine.hour_cursor += 1;
                     if engine.hour_cursor < hours {
@@ -591,18 +750,10 @@ impl SimDriver {
             );
         }
 
-        let jobs = summarize(
-            &engine.records,
-            trace.len(),
-            engine.waiting.len() + engine.running_count,
-            scenario,
-        );
-        RunResult {
-            scenario_name: scenario.name.clone(),
-            telemetry,
-            ledger,
-            jobs,
-            job_records: engine.records,
+        ReplayOutcome {
+            probes: engine.probes,
+            submitted: trace.len(),
+            unfinished: engine.waiting.len() + engine.running_count,
             battery_cycles: strategy.equivalent_cycles(),
         }
     }
@@ -652,38 +803,6 @@ fn forecast_at(
                 *v = v.clamp(0.0, 1.0);
             }
         }
-    }
-}
-
-fn summarize(
-    records: &[JobRecord],
-    submitted: usize,
-    unfinished: usize,
-    scenario: &Scenario,
-) -> JobStats {
-    if records.is_empty() {
-        return JobStats {
-            submitted,
-            unfinished,
-            ..JobStats::default()
-        };
-    }
-    let waits: Vec<f64> = records.iter().map(|r| r.wait_hours()).collect();
-    let slowdowns: Vec<f64> = records.iter().map(|r| r.slowdown()).collect();
-    let violations = waits
-        .iter()
-        .filter(|&&w| w > scenario.slo_wait_hours)
-        .count();
-    JobStats {
-        submitted,
-        completed: records.len(),
-        unfinished,
-        mean_wait_hours: greener_simkit::stats::mean(&waits),
-        p95_wait_hours: greener_simkit::stats::quantile(&waits, 0.95),
-        mean_slowdown: greener_simkit::stats::mean(&slowdowns),
-        slo_violations: violations,
-        slo_violation_fraction: violations as f64 / records.len() as f64,
-        gpu_hours_completed: records.iter().map(|r| r.work_gpu_hours).sum(),
     }
 }
 
@@ -868,8 +987,26 @@ mod tests {
             let scenario = Scenario::quick(14, seed).with_policy(policies[pi]);
             for core in [SchedulerCore::Calendar, SchedulerCore::Heap] {
                 for wg in [WorldGen::Parallel, WorldGen::Sequential] {
-                    let r =
-                        SimDriver::run(&scenario.clone().with_scheduler(core).with_worldgen(wg));
+                    let s = scenario.clone().with_scheduler(core).with_worldgen(wg);
+                    let r = SimDriver::run(&s);
+                    // Probe-composition axis: the aggregates-only fast
+                    // path must observe the exact same bits as the full
+                    // probe set (probes are decision-invisible).
+                    let world = World::build(&s);
+                    let agg = SimDriver::run_observed(&s, &world, Observe::aggregates());
+                    assert_eq!(
+                        agg.aggregates.energy_kwh.to_bits(),
+                        r.telemetry.total_energy_kwh().to_bits(),
+                        "probe composition changed energy: seed {seed}, policy {:?}, core {core:?}, worldgen {wg:?}",
+                        policies[pi]
+                    );
+                    assert_eq!(
+                        agg.aggregates.carbon_kg.to_bits(),
+                        r.telemetry.total_carbon_kg().to_bits(),
+                        "probe composition changed carbon: seed {seed}, policy {:?}, core {core:?}, worldgen {wg:?}",
+                        policies[pi]
+                    );
+                    assert_eq!(agg.jobs.completed, r.jobs.completed);
                     if check_bits {
                         assert_eq!(
                             r.telemetry.total_energy_kwh().to_bits(),
@@ -981,6 +1118,183 @@ mod tests {
         assert_eq!(ra.jobs.submitted, rb.jobs.submitted);
     }
 
+    /// A caller-defined probe sees the full point stream: one `Submitted`
+    /// and (for every completed job) one `Started` per job, settle
+    /// outcomes consistent with the purchase records, and attaching it
+    /// changes nothing about the run (decision invisibility from the
+    /// extension side).
+    #[test]
+    fn custom_probe_observes_full_point_stream() {
+        use crate::probe::PurchasePoint;
+        use greener_simkit::obs::Probe;
+
+        #[derive(Default)]
+        struct Audit {
+            submitted: usize,
+            started: usize,
+            finished: usize,
+            max_submit_depth: u32,
+            battery_flows_kwh: f64,
+            purchase_mismatch: bool,
+        }
+        impl Probe<JobPoint> for Audit {
+            fn observe(&mut self, p: &JobPoint) {
+                match p {
+                    JobPoint::Submitted { queue_len, .. } => {
+                        self.submitted += 1;
+                        self.max_submit_depth = self.max_submit_depth.max(*queue_len);
+                    }
+                    JobPoint::Started { .. } => self.started += 1,
+                    JobPoint::Finished(_) => self.finished += 1,
+                }
+            }
+        }
+        impl Probe<PurchasePoint> for Audit {
+            fn observe(&mut self, p: &PurchasePoint) {
+                // settle.purchased is what the ledger records.
+                self.purchase_mismatch |= p.settle.purchased.value() != p.record.energy.value();
+                self.battery_flows_kwh +=
+                    p.settle.battery_charged.kwh() + p.settle.battery_discharged.kwh();
+            }
+        }
+        impl Probe<HourObservation> for Audit {
+            fn observe(&mut self, _: &HourObservation) {}
+        }
+
+        let s = Scenario::quick(10, 19).with_battery();
+        let world = World::build(&s);
+        let outcome = SimDriver::replay::<CalendarQueue<Event>, _>(&s, &world, Audit::default());
+        let audit = outcome.probes;
+        let reference = SimDriver::run(&s);
+        assert_eq!(audit.submitted, reference.jobs.submitted);
+        assert_eq!(audit.finished, reference.jobs.completed);
+        // Every completion was started; unfinished jobs may or may not
+        // have started (still-running vs still-queued).
+        assert!(audit.started >= audit.finished);
+        assert!(audit.started <= reference.jobs.submitted);
+        assert!(audit.max_submit_depth >= 1);
+        assert!(!audit.purchase_mismatch, "settle/record purchase disagree");
+        assert!(
+            audit.battery_flows_kwh > 0.0,
+            "battery strategy must move energy through the settle points"
+        );
+        // Attaching the audit probe changed nothing (decision
+        // invisibility): the loop-side tallies match the reference run.
+        assert_eq!(outcome.submitted, reference.jobs.submitted);
+        assert_eq!(outcome.unfinished, reference.jobs.unfinished);
+        assert_eq!(outcome.battery_cycles, reference.battery_cycles);
+    }
+
+    /// `run_observed` with every output on reproduces `run` exactly —
+    /// same frames, same ledger, same records — and the queue-depth probe
+    /// matches the stats derivable from hourly telemetry.
+    #[test]
+    fn observed_everything_matches_run() {
+        let s = Scenario::quick(10, 19);
+        let full = SimDriver::run(&s);
+        let world = World::build(&s);
+        let out = SimDriver::run_observed(&s, &world, Observe::everything());
+        let telemetry = out.telemetry.expect("telemetry observed");
+        assert_eq!(telemetry.frames(), full.telemetry.frames());
+        assert_eq!(
+            out.ledger.expect("ledger observed").records(),
+            full.ledger.records()
+        );
+        assert_eq!(out.job_records.expect("records observed"), full.job_records);
+        assert_eq!(out.jobs.completed, full.jobs.completed);
+        assert_eq!(out.battery_cycles, full.battery_cycles);
+        // Queue-depth probe == post-hoc telemetry query.
+        let depth = out.queue_depth.expect("queue depth observed");
+        let max = telemetry
+            .frames()
+            .iter()
+            .map(|f| f.queue_len)
+            .max()
+            .unwrap();
+        let mean = telemetry
+            .frames()
+            .iter()
+            .map(|f| f.queue_len as f64)
+            .sum::<f64>()
+            / telemetry.len() as f64;
+        assert_eq!(depth.max, max);
+        assert!((depth.mean() - mean).abs() < 1e-12);
+    }
+
+    /// Selective observation: only the requested outputs materialize, and
+    /// the always-on aggregates reproduce the full run's totals for every
+    /// derived statistic the sweeps consume.
+    #[test]
+    fn aggregates_reproduce_all_derived_totals() {
+        let s = Scenario::quick(12, 29).with_battery();
+        let full = SimDriver::run(&s);
+        let world = World::build(&s);
+        let out = SimDriver::run_observed(&s, &world, Observe::aggregates());
+        assert!(out.telemetry.is_none());
+        assert!(out.ledger.is_none());
+        assert!(out.job_records.is_none());
+        assert!(out.queue_depth.is_none());
+        let a = &out.aggregates;
+        assert_eq!(
+            a.energy_kwh.to_bits(),
+            full.telemetry.total_energy_kwh().to_bits()
+        );
+        assert_eq!(
+            a.carbon_kg.to_bits(),
+            full.telemetry.total_carbon_kg().to_bits()
+        );
+        assert_eq!(
+            a.cost_usd.to_bits(),
+            full.telemetry.total_cost_usd().to_bits()
+        );
+        assert_eq!(
+            a.water_l.to_bits(),
+            full.telemetry.total_water_l().to_bits()
+        );
+        assert_eq!(
+            a.cooling_saturation_fraction().to_bits(),
+            full.telemetry.cooling_saturation_fraction().to_bits()
+        );
+        assert_eq!(
+            a.energy_weighted_green_share().to_bits(),
+            full.ledger.energy_weighted_green_share().to_bits()
+        );
+        assert_eq!(
+            a.energy_weighted_price().to_bits(),
+            full.ledger.energy_weighted_price().to_bits()
+        );
+        assert_eq!(
+            a.energy_weighted_ci().to_bits(),
+            full.ledger.energy_weighted_ci().to_bits()
+        );
+        let it_kwh: f64 = full
+            .telemetry
+            .frames()
+            .iter()
+            .map(|f| f.it_power_w / 1_000.0)
+            .sum();
+        assert_eq!(a.it_energy_kwh.to_bits(), it_kwh.to_bits());
+        let peak: f64 = full
+            .telemetry
+            .frames()
+            .iter()
+            .map(|f| f.total_power_w / 1_000.0)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(a.peak_power_kw.to_bits(), peak.to_bits());
+        let pues: Vec<f64> = full
+            .telemetry
+            .frames()
+            .iter()
+            .map(|f| f.pue)
+            .filter(|p| p.is_finite())
+            .collect();
+        assert_eq!(
+            a.mean_pue().to_bits(),
+            greener_simkit::stats::mean(&pues).to_bits()
+        );
+        assert_eq!(out.battery_cycles, full.battery_cycles);
+    }
+
     #[test]
     fn no_gpu_oversubscription_ever() {
         let r = quick_run(10, 11);
@@ -1042,6 +1356,52 @@ mod tests {
                     prop_assert!(f.it_power_w > 0.0);
                     prop_assert!(f.cooling_power_w >= 0.0);
                 }
+            }
+
+            /// Probe compositions are decision-invisible: an
+            /// aggregates-only run reproduces the full-probe run's
+            /// energy/carbon totals and complete `JobStats` *bit for bit*
+            /// across random quick scenarios and policies.
+            #[test]
+            fn aggregates_only_matches_full_probes_bitwise(
+                seed in 0u64..1_000,
+                policy_idx in 0usize..4,
+                days in 3usize..9,
+            ) {
+                let policies = [
+                    PolicyKind::Fcfs,
+                    PolicyKind::EasyBackfill,
+                    PolicyKind::StaticCap { cap_w: 160.0 },
+                    PolicyKind::CarbonAware { green_threshold: 0.06 },
+                ];
+                let s = Scenario::quick(days, seed).with_policy(policies[policy_idx]);
+                let full = SimDriver::run(&s);
+                let world = World::build(&s);
+                let agg = SimDriver::run_observed(&s, &world, Observe::aggregates());
+                prop_assert_eq!(
+                    agg.aggregates.energy_kwh.to_bits(),
+                    full.telemetry.total_energy_kwh().to_bits()
+                );
+                prop_assert_eq!(
+                    agg.aggregates.carbon_kg.to_bits(),
+                    full.telemetry.total_carbon_kg().to_bits()
+                );
+                let (a, b) = (&agg.jobs, &full.jobs);
+                prop_assert_eq!(a.submitted, b.submitted);
+                prop_assert_eq!(a.completed, b.completed);
+                prop_assert_eq!(a.unfinished, b.unfinished);
+                prop_assert_eq!(a.mean_wait_hours.to_bits(), b.mean_wait_hours.to_bits());
+                prop_assert_eq!(a.p95_wait_hours.to_bits(), b.p95_wait_hours.to_bits());
+                prop_assert_eq!(a.mean_slowdown.to_bits(), b.mean_slowdown.to_bits());
+                prop_assert_eq!(a.slo_violations, b.slo_violations);
+                prop_assert_eq!(
+                    a.slo_violation_fraction.to_bits(),
+                    b.slo_violation_fraction.to_bits()
+                );
+                prop_assert_eq!(
+                    a.gpu_hours_completed.to_bits(),
+                    b.gpu_hours_completed.to_bits()
+                );
             }
         }
     }

@@ -23,11 +23,32 @@
 //! assert!(result.telemetry.total_energy_kwh() > 0.0);
 //! ```
 //!
+//! When a caller needs only a slice of a run, it says so: the driver's
+//! replay loop emits typed observation points to a composable probe set
+//! (see [`probe`]), and [`driver::SimDriver::run_observed`] takes an
+//! [`Observe`] spec selecting the outputs. Aggregates-only observation
+//! (`Observe::aggregates()`) is the fast path sweeps run on:
+//!
+//! ```
+//! use greener_core::driver::{SimDriver, World};
+//! use greener_core::probe::Observe;
+//! use greener_core::scenario::Scenario;
+//!
+//! let scenario = Scenario::quick(7, 42);
+//! let world = World::build(&scenario);
+//! let out = SimDriver::run_observed(&scenario, &world, Observe::aggregates());
+//! // Totals and job stats are always produced; nothing else was retained.
+//! assert!(out.aggregates.energy_kwh > 0.0);
+//! assert!(out.telemetry.is_none() && out.job_records.is_none());
+//! ```
+//!
 //! ## Module map
 //!
 //! * [`scenario`] — the full configuration bundle (cluster, grid, climate,
 //!   workload, policy, strategy) with presets.
 //! * [`driver`] — the discrete-event simulation loop.
+//! * [`probe`] — the run-observation layer: built-in probes, the
+//!   [`Observe`] spec and the [`RunOutput`] report surface.
 //! * [`accounting`] — energy/carbon/cost/water accounting, opportunity
 //!   costs (§II-A) and the footprint-estimate-variance analysis (§IV-B).
 //! * [`strategy`] — energy-purchasing strategies: green-window utilization
@@ -44,10 +65,12 @@ pub mod accounting;
 pub mod driver;
 pub mod experiments;
 pub mod optimize;
+pub mod probe;
 pub mod scenario;
 pub mod strategy;
 pub mod stress;
 pub mod trends;
 
 pub use driver::{JobStats, RunResult, SimDriver};
+pub use probe::{Observe, RunAggregates, RunOutput};
 pub use scenario::{ForecastMode, Scenario};

@@ -16,7 +16,8 @@ use greener_workload::UserId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-use crate::driver::{RunResult, SimDriver};
+use crate::driver::{JobStats, RunResult, SimDriver, World};
+use crate::probe::{Observe, RunAggregates};
 use crate::scenario::Scenario;
 
 /// The energy objective `E(·)` of Eq. 1 — "any number of quantities
@@ -34,8 +35,19 @@ pub enum EnergyObjective {
 }
 
 impl EnergyObjective {
-    /// Evaluate on a run.
-    pub fn of(&self, run: &RunResult) -> f64 {
+    /// Evaluate on a run's aggregate totals (grid cells run
+    /// aggregates-only, so the sweep never materializes telemetry).
+    pub fn of(&self, agg: &RunAggregates) -> f64 {
+        match self {
+            EnergyObjective::EnergyKwh => agg.energy_kwh,
+            EnergyObjective::CarbonKg => agg.carbon_kg,
+            EnergyObjective::CostUsd => agg.cost_usd,
+            EnergyObjective::WaterL => agg.water_l,
+        }
+    }
+
+    /// Evaluate on a fully-instrumented run.
+    pub fn of_run(&self, run: &RunResult) -> f64 {
         match self {
             EnergyObjective::EnergyKwh => run.telemetry.total_energy_kwh(),
             EnergyObjective::CarbonKg => run.telemetry.total_carbon_kg(),
@@ -57,12 +69,12 @@ pub enum ActivityMeasure {
 }
 
 impl ActivityMeasure {
-    /// Evaluate on a run.
-    pub fn of(&self, run: &RunResult) -> f64 {
+    /// Evaluate on a run's job statistics.
+    pub fn of(&self, jobs: &JobStats) -> f64 {
         match self {
-            ActivityMeasure::GpuHours => run.jobs.gpu_hours_completed,
-            ActivityMeasure::JobsCompleted => run.jobs.completed as f64,
-            ActivityMeasure::NegMeanWaitHours => -run.jobs.mean_wait_hours,
+            ActivityMeasure::GpuHours => jobs.gpu_hours_completed,
+            ActivityMeasure::JobsCompleted => jobs.completed as f64,
+            ActivityMeasure::NegMeanWaitHours => -jobs.mean_wait_hours,
         }
     }
 }
@@ -104,15 +116,21 @@ pub struct Eq1Problem {
 
 impl Eq1Problem {
     /// Evaluate one decision point (paired trace: the seed is shared).
+    ///
+    /// Grid cells are aggregates-only observations: a sweep over dozens
+    /// of `(q_s, p)` cells needs totals and job statistics, never hourly
+    /// frames or per-job records. (The world is still rebuilt per cell —
+    /// `q_s` changes the cluster size, which gang-caps the trace.)
     pub fn evaluate(&self, point: DecisionPoint) -> EvaluatedPoint {
         let mut scenario = self.base.clone().with_policy(point.policy);
         let nodes = (self.base.cluster.nodes as f64 * point.qs_mult)
             .round()
             .max(1.0) as u32;
         scenario.cluster.nodes = nodes;
-        let run = SimDriver::run(&scenario);
-        let energy = self.objective.of(&run);
-        let activity = self.activity.of(&run);
+        let world = World::build(&scenario);
+        let out = SimDriver::run_observed(&scenario, &world, Observe::aggregates());
+        let energy = self.objective.of(&out.aggregates);
+        let activity = self.activity.of(&out.jobs);
         EvaluatedPoint {
             point,
             energy,
@@ -327,17 +345,25 @@ mod tests {
 
     #[test]
     fn objectives_and_activities_evaluate() {
-        let run = SimDriver::run(&Scenario::quick(5, 35));
+        let s = Scenario::quick(5, 35);
+        let world = World::build(&s);
+        let out = SimDriver::run_observed(&s, &world, Observe::aggregates());
+        let run = SimDriver::run(&s);
         for obj in [
             EnergyObjective::EnergyKwh,
             EnergyObjective::CarbonKg,
             EnergyObjective::CostUsd,
             EnergyObjective::WaterL,
         ] {
-            assert!(obj.of(&run) > 0.0, "{obj:?}");
+            assert!(obj.of(&out.aggregates) > 0.0, "{obj:?}");
+            // Aggregates and full instrumentation agree exactly.
+            assert_eq!(
+                obj.of(&out.aggregates).to_bits(),
+                obj.of_run(&run).to_bits()
+            );
         }
-        assert!(ActivityMeasure::GpuHours.of(&run) > 0.0);
-        assert!(ActivityMeasure::JobsCompleted.of(&run) > 0.0);
-        assert!(ActivityMeasure::NegMeanWaitHours.of(&run) <= 0.0);
+        assert!(ActivityMeasure::GpuHours.of(&out.jobs) > 0.0);
+        assert!(ActivityMeasure::JobsCompleted.of(&out.jobs) > 0.0);
+        assert!(ActivityMeasure::NegMeanWaitHours.of(&out.jobs) <= 0.0);
     }
 }

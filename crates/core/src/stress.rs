@@ -13,7 +13,8 @@
 use greener_climate::{StressKind, StressScenario};
 use serde::{Deserialize, Serialize};
 
-use crate::driver::SimDriver;
+use crate::driver::{SimDriver, World};
+use crate::probe::Observe;
 use crate::scenario::Scenario;
 
 /// One stress-test outcome row.
@@ -81,25 +82,19 @@ pub fn apply_shocks(base: &Scenario, stress: &StressScenario) -> Scenario {
 }
 
 /// Run one stress scenario.
+///
+/// Stress scoring needs only totals (saturation and violation fractions,
+/// energy/carbon/cost, peak power, mean PUE), so the run is
+/// aggregates-only: no hourly frames, ledger rows or job records are
+/// retained anywhere in a suite sweep. (Shocks feed world generation, so
+/// each shocked scenario builds its own world.)
 pub fn run_one(base: &Scenario, stress: &StressScenario) -> StressReport {
     let scenario = apply_shocks(base, stress);
-    let run = SimDriver::run(&scenario);
-    let cooling_saturation = run.telemetry.cooling_saturation_fraction();
-    let slo_violation = run.jobs.slo_violation_fraction;
+    let world = World::build(&scenario);
+    let out = SimDriver::run_observed(&scenario, &world, Observe::aggregates());
+    let cooling_saturation = out.aggregates.cooling_saturation_fraction();
+    let slo_violation = out.jobs.slo_violation_fraction;
     let violation_score = cooling_saturation.max(slo_violation);
-    let pues: Vec<f64> = run
-        .telemetry
-        .frames()
-        .iter()
-        .map(|f| f.pue)
-        .filter(|p| p.is_finite())
-        .collect();
-    let peak_kw = run
-        .telemetry
-        .frames()
-        .iter()
-        .map(|f| f.total_power_w / 1_000.0)
-        .fold(f64::NEG_INFINITY, f64::max);
     StressReport {
         scenario: stress.name.clone(),
         cooling_saturation,
@@ -107,11 +102,11 @@ pub fn run_one(base: &Scenario, stress: &StressScenario) -> StressReport {
         violation_score,
         threshold: stress.max_violation_fraction,
         pass: violation_score <= stress.max_violation_fraction,
-        energy_kwh: run.telemetry.total_energy_kwh(),
-        carbon_kg: run.telemetry.total_carbon_kg(),
-        cost_usd: run.telemetry.total_cost_usd(),
-        peak_power_kw: peak_kw,
-        mean_pue: greener_simkit::stats::mean(&pues),
+        energy_kwh: out.aggregates.energy_kwh,
+        carbon_kg: out.aggregates.carbon_kg,
+        cost_usd: out.aggregates.cost_usd,
+        peak_power_kw: out.aggregates.peak_power_kw,
+        mean_pue: out.aggregates.mean_pue(),
     }
 }
 
@@ -132,8 +127,7 @@ mod tests {
 
     fn base() -> Scenario {
         // One summer month so heat shocks bind: July 2020 at 1/10 scale.
-        let mut s = Scenario::two_year_small(41);
-        s.horizon_hours = 31 * 24;
+        let mut s = Scenario::two_year_small(41).with_horizon_days(31);
         s.start = greener_simkit::calendar::CalDate::new(2020, 7, 1);
         s
     }

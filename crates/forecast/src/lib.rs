@@ -11,7 +11,7 @@
 //! * [`model`] — mean, drift, seasonal-naive, simple exponential smoothing,
 //!   Holt's linear trend, additive Holt-Winters, and AR(p) via least squares.
 //! * [`metrics`] — MAE / RMSE / MAPE / sMAPE.
-//! * [`backtest`] — rolling-origin cross-validation over a series.
+//! * [`mod@backtest`] — rolling-origin cross-validation over a series.
 //! * [`linalg`] — the small dense solver backing AR(p).
 //!
 //! The carbon-aware scheduler consumes 24–48 h green-share forecasts;

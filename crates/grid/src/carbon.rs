@@ -3,7 +3,7 @@
 //! Lifecycle emission factors (kg CO₂-eq per MWh) follow IPCC AR5 median
 //! values for the clean fuels and ISO-NE-typical stack emissions for the
 //! fossil ones. The hourly grid carbon intensity is the generation-weighted
-//! average — the quantity a carbon-aware scheduler (§II-A, ref [16]) keys on.
+//! average — the quantity a carbon-aware scheduler (§II-A, ref \[16\]) keys on.
 
 use crate::mix::FuelSource;
 

@@ -21,7 +21,7 @@ pub struct PurchaseRecord {
     pub lmp_usd_mwh: f64,
     /// Grid carbon intensity at purchase time, kg/MWh.
     pub ci_kg_mwh: f64,
-    /// Green (solar+wind) share of the grid at purchase time, in [0,1].
+    /// Green (solar+wind) share of the grid at purchase time, in \[0,1\].
     pub green_share: f64,
 }
 

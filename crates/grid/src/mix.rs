@@ -159,7 +159,7 @@ pub struct GridPath {
     pub lmp_usd_mwh: Vec<f64>,
     /// Grid carbon intensity, kg CO₂ per MWh.
     pub ci_kg_mwh: Vec<f64>,
-    /// Share of total generation from solar + wind, in [0,1].
+    /// Share of total generation from solar + wind, in \[0,1\].
     pub green_share: Vec<f64>,
 }
 

@@ -150,7 +150,7 @@ impl Cluster {
         self.total_gpus() - self.free_total
     }
 
-    /// GPU-count utilization in [0,1].
+    /// GPU-count utilization in \[0,1\].
     pub fn gpu_utilization(&self) -> f64 {
         self.running_gpus() as f64 / self.total_gpus() as f64
     }

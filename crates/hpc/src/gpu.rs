@@ -2,7 +2,7 @@
 //!
 //! Calibrated to the published V100 behaviour the paper cites (Frey et al.,
 //! "Benchmarking resource usage for efficient distributed deep learning",
-//! ref [15]): capping a 250 W V100 to ~60 % of TDP costs only ~15 % of
+//! ref \[15\]): capping a 250 W V100 to ~60 % of TDP costs only ~15 % of
 //! training throughput, so *energy per unit work* has an interior minimum
 //! well below TDP. That asymmetry powers the paper's two-part mechanism
 //! (accept stricter caps ⇄ receive more GPUs).
@@ -25,7 +25,7 @@ pub struct GpuModel {
 }
 
 impl Default for GpuModel {
-    /// A V100-like 250 W part with the ref [15] throughput shape.
+    /// A V100-like 250 W part with the ref \[15\] throughput shape.
     fn default() -> Self {
         GpuModel {
             nominal_power_w: 250.0,
@@ -92,7 +92,7 @@ impl GpuModel {
     }
 
     /// Energy-delay product per GPU-hour of work (J·s): the metric whose
-    /// argmin ref [15] calls the *optimal power cap*.
+    /// argmin ref \[15\] calls the *optimal power cap*.
     pub fn edp_per_gpu_hour(&self, cap_w: f64) -> f64 {
         let speed = self.speed_at_cap(self.clamp_cap(cap_w));
         let delay = 3_600.0 / speed;

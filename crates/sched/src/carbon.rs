@@ -1,7 +1,7 @@
 //! Carbon-aware temporal shifting and green-queue segmentation.
 //!
 //! §II-A: shift consumption toward hours when "sustainable energy takes up a
-//! larger share of the fuel mix"; ref [16] (Google's carbon-aware computing)
+//! larger share of the fuel mix"; ref \[16\] (Google's carbon-aware computing)
 //! does exactly this with day-ahead carbon forecasts. [`CarbonAwarePolicy`]
 //! defers *deferrable* jobs while the grid is dirty and a greener hour is
 //! forecast inside the job's slack window. [`GreenQueuePolicy`] adds the

@@ -1,7 +1,7 @@
 //! Power-capping policies.
 //!
 //! §II-C: "optimal GPU power-caps provide an effective way to control energy
-//! consumption with minimal impact on training speed" (ref [15]).
+//! consumption with minimal impact on training speed" (ref \[15\]).
 //! [`PowerCapPolicy`] applies a static fleet-wide cap; [`TempAwarePolicy`]
 //! tightens caps as outdoor temperature rises — shaving IT watts exactly
 //! when each IT watt costs the most cooling watts (§II-B weatherization).

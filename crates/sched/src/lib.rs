@@ -10,11 +10,12 @@
 //! * [`policy`] — the [`SchedPolicy`] trait, dispatch signals, and the
 //!   baseline policies (including fit-indexed EASY backfill with the
 //!   [`policy::BackfillLimit`] knob).
-//! * [`waitq`] — the fit-indexed [`WaitQueue`] policies dispatch against.
+//! * [`waitq`] — the fit-indexed [`WaitQueue`] policies dispatch against,
+//!   plus the [`waitq::DepthStats`] queue-depth observation hook.
 //! * [`energy`] — static power capping and temperature-aware capping
 //!   (tighten caps when cooling is expensive).
 //! * [`carbon`] — carbon-aware temporal shifting (defer deferrable jobs to
-//!   forecast-greener hours, ref [16]) and green-queue segmentation.
+//!   forecast-greener hours, ref \[16\]) and green-queue segmentation.
 //! * [`config`] — serializable policy descriptors for experiments.
 
 pub mod carbon;
@@ -30,4 +31,4 @@ pub use policy::{
     BackfillLimit, Decision, EasyBackfillPolicy, FcfsPolicy, QueuedJob, SchedPolicy, SchedSignals,
     SjfPolicy,
 };
-pub use waitq::WaitQueue;
+pub use waitq::{DepthStats, WaitQueue};

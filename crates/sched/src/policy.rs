@@ -15,7 +15,7 @@
 //! times, so per-call heap traffic dominates everything else.
 //!
 //! EASY backfill additionally exploits the queue's gang-size index
-//! ([`WaitQueue::fit_after`]) so a dispatch against a deep saturated queue
+//! ([`WaitQueue::backfill_candidates`]) so a dispatch against a deep saturated queue
 //! only visits candidates that actually fit the free GPUs — see
 //! [`BackfillLimit`] for the (documented, opt-in) depth-limited variant.
 
@@ -46,7 +46,7 @@ pub struct QueuedJob {
 pub struct SchedSignals<'a> {
     /// Current simulation time.
     pub now: SimTime,
-    /// Grid green (solar+wind) share in [0,1].
+    /// Grid green (solar+wind) share in \[0,1\].
     pub green_share: f64,
     /// Grid carbon intensity, kg/MWh.
     pub ci_kg_mwh: f64,
@@ -224,7 +224,7 @@ pub enum BackfillLimit {
 /// reservation (so the head is never delayed).
 ///
 /// The candidate search runs over the queue's gang-size fit index
-/// ([`WaitQueue::fit_after`]): instead of scanning thousands of queued jobs
+/// ([`WaitQueue::backfill_candidates`]): instead of scanning thousands of queued jobs
 /// that cannot fit the free GPUs, it merges only the size classes that do —
 /// visiting exactly the candidates the classic scan would have evaluated,
 /// in the same order, so exhaustive-mode decisions are unchanged.

@@ -345,6 +345,49 @@ impl<'a> FitIter<'a> {
     }
 }
 
+/// Running waiting-queue depth statistics — the scheduler-side hook for
+/// queue-depth observation.
+///
+/// The driver's `QueueDepthProbe` (and anything else that samples queue
+/// depth, e.g. the perfjson benchmark snapshot) feeds one depth sample per
+/// observation into this accumulator instead of retaining a depth series:
+/// max and mean are exact over the samples, and memory stays O(1)
+/// regardless of horizon. Samples are whatever cadence the caller picks —
+/// the driver samples at the top of every simulated hour, matching the
+/// queue-depth column hourly telemetry used to carry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DepthStats {
+    /// Deepest observed queue.
+    pub max: u32,
+    /// Sum of observed depths (for the mean).
+    pub sum: f64,
+    /// Number of samples observed.
+    pub samples: usize,
+}
+
+impl DepthStats {
+    /// A fresh accumulator.
+    pub fn new() -> DepthStats {
+        DepthStats::default()
+    }
+
+    /// Record one queue-depth sample.
+    pub fn record(&mut self, depth: u32) {
+        self.max = self.max.max(depth);
+        self.sum += depth as f64;
+        self.samples += 1;
+    }
+
+    /// Mean observed depth (0 before any sample).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum / self.samples as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +405,18 @@ mod tests {
             seen.push(j.job.id.0);
         }
         seen
+    }
+
+    #[test]
+    fn depth_stats_track_max_and_mean() {
+        let mut d = DepthStats::new();
+        assert_eq!(d.mean(), 0.0);
+        for depth in [3u32, 0, 5, 2] {
+            d.record(depth);
+        }
+        assert_eq!(d.max, 5);
+        assert_eq!(d.samples, 4);
+        assert!((d.mean() - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! * Each bucket is a `Vec` sorted ascending by `(time, seq)` with a
 //!   consumed-prefix index, so a pop inside a bucket is a bump of that
 //!   index, not a memmove.
-//! * Events beyond [`MAX_BUCKETS`] (~120 years at the default width) fall
+//! * Events beyond `MAX_BUCKETS` (~120 years at the default width) fall
 //!   into a `BinaryHeap` overflow; every overflow timestamp is strictly
 //!   later than every possible bucket timestamp, so the overflow only
 //!   drains after the calendar is exhausted.
@@ -90,7 +90,7 @@ pub struct CalendarQueue<E> {
     width: u64,
     /// First bucket that may still hold pending events.
     cursor: usize,
-    /// Far-future events (bucket index ≥ [`MAX_BUCKETS`]).
+    /// Far-future events (bucket index ≥ `MAX_BUCKETS`).
     overflow: BinaryHeap<ScheduledEvent<E>>,
     now: SimTime,
     next_seq: u64,

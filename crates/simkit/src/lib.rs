@@ -18,6 +18,9 @@
 //!   pluggable.
 //! * [`calq`] — a calendar/bucket [`EventScheduler`] with O(1) amortized
 //!   pop for tick-dominated year-scale runs.
+//! * [`obs`] — generic, decision-invisible observation probes: event loops
+//!   emit typed observation points to statically-composed [`obs::Probe`]
+//!   sets, so callers pay only for what they watch.
 //! * [`series`] — hourly time-series storage with monthly aggregation.
 //! * [`stats`] — the statistics used by the experiment harness (regression,
 //!   Pearson/Spearman correlation, quantiles, cross-correlation).
@@ -29,6 +32,7 @@
 pub mod calendar;
 pub mod calq;
 pub mod des;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod series;
@@ -40,6 +44,7 @@ pub mod units;
 pub use calendar::{CalDate, Month, YearMonth};
 pub use calq::CalendarQueue;
 pub use des::{EventQueue, EventScheduler, ScheduledEvent};
+pub use obs::Probe;
 pub use rng::RngHub;
 pub use series::{HourlySeries, MonthlyAgg, MonthlyRow};
 pub use time::{Duration, SimTime, HOUR, MINUTE, SECONDS_PER_DAY, SECONDS_PER_HOUR};

@@ -1,0 +1,161 @@
+//! Generic observation probes for event loops.
+//!
+//! A simulation loop produces two very different kinds of output: the
+//! *decisions* it makes (which are the simulation) and the *observations*
+//! callers want recorded about it (which are not). This module gives the
+//! second kind one composable shape: an event loop emits typed observation
+//! points, and a statically-composed set of [`Probe`]s consumes them.
+//!
+//! The contract that makes probes safe to compose is **decision
+//! invisibility**: a probe receives `&P` and has no channel back into the
+//! loop, so attaching, detaching or reordering probes can never change
+//! what the simulation computes — only what gets recorded about it. The
+//! driver in `greener-core` relies on this to offer an aggregates-only
+//! fast path that is bit-identical to the fully-instrumented run.
+//!
+//! Composition is static: probe sets are built from tuples, so the
+//! observer calls monomorphize and a disabled observation point costs a
+//! no-op function that the optimizer deletes. The combinators:
+//!
+//! * `()` — the null probe: observes nothing (the empty set).
+//! * `Option<T>` — a probe that may be switched off at construction time
+//!   (`None` observes nothing).
+//! * `(A, B)` / `(A, B, C)` — fan-out: both sides observe every point, in
+//!   order. Nest tuples for larger sets.
+//! * [`Tally`] — counts observations; useful in tests and as the simplest
+//!   example of a probe.
+//!
+//! A type observes a point type `P` by implementing `Probe<P>`; a probe
+//! *set* for a loop that emits several point types implements `Probe<P>`
+//! for each of them (see `greener_core::probe::RunProbes`).
+
+/// A read-only observer of typed observation points emitted by an event
+/// loop.
+///
+/// Implementations must be *decision-invisible*: observing a point may
+/// update the probe's own accumulators but must not feed anything back
+/// into the emitting loop (the `&P` borrow enforces this structurally —
+/// there is nothing to mutate but the probe itself).
+pub trait Probe<P> {
+    /// Observe one point.
+    fn observe(&mut self, point: &P);
+}
+
+/// The null probe: observes nothing.
+impl<P> Probe<P> for () {
+    #[inline(always)]
+    fn observe(&mut self, _point: &P) {}
+}
+
+/// A probe that may be disabled at construction time: `None` observes
+/// nothing, `Some(probe)` forwards every point.
+impl<P, T: Probe<P>> Probe<P> for Option<T> {
+    #[inline]
+    fn observe(&mut self, point: &P) {
+        if let Some(probe) = self {
+            probe.observe(point);
+        }
+    }
+}
+
+/// Fan-out: both probes observe every point, left first.
+impl<P, A: Probe<P>, B: Probe<P>> Probe<P> for (A, B) {
+    #[inline]
+    fn observe(&mut self, point: &P) {
+        self.0.observe(point);
+        self.1.observe(point);
+    }
+}
+
+/// Fan-out over three probes, in order.
+impl<P, A: Probe<P>, B: Probe<P>, C: Probe<P>> Probe<P> for (A, B, C) {
+    #[inline]
+    fn observe(&mut self, point: &P) {
+        self.0.observe(point);
+        self.1.observe(point);
+        self.2.observe(point);
+    }
+}
+
+/// The simplest probe: counts how many points it observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Number of points observed so far.
+    pub count: u64,
+}
+
+impl Tally {
+    /// A fresh counter at zero.
+    pub fn new() -> Tally {
+        Tally::default()
+    }
+}
+
+impl<P> Probe<P> for Tally {
+    #[inline]
+    fn observe(&mut self, _point: &P) {
+        self.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A probe recording the points it saw, for order assertions.
+    #[derive(Default)]
+    struct Recorder(Vec<u32>);
+
+    impl Probe<u32> for Recorder {
+        fn observe(&mut self, point: &u32) {
+            self.0.push(*point);
+        }
+    }
+
+    fn emit_all<O: Probe<u32>>(mut probes: O, points: &[u32]) -> O {
+        for p in points {
+            probes.observe(p);
+        }
+        probes
+    }
+
+    #[test]
+    fn null_probe_observes_nothing() {
+        emit_all((), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn tally_counts() {
+        let t = emit_all(Tally::new(), &[7, 8, 9]);
+        assert_eq!(t.count, 3);
+    }
+
+    #[test]
+    fn tuple_fans_out_in_order() {
+        let (a, b) = emit_all((Recorder::default(), Recorder::default()), &[4, 5]);
+        assert_eq!(a.0, vec![4, 5]);
+        assert_eq!(b.0, vec![4, 5]);
+    }
+
+    #[test]
+    fn option_switches_a_probe_off() {
+        let on = emit_all(Some(Tally::new()), &[1, 2]);
+        assert_eq!(on.unwrap().count, 2);
+        let off: Option<Tally> = emit_all(None, &[1, 2]);
+        assert!(off.is_none());
+    }
+
+    #[test]
+    fn nested_sets_compose() {
+        let (t, (r, u)) = emit_all((Tally::new(), (Recorder::default(), ())), &[10, 20, 30, 40]);
+        assert_eq!(t.count, 4);
+        assert_eq!(r.0, vec![10, 20, 30, 40]);
+        u
+    }
+
+    #[test]
+    fn triple_fans_out() {
+        let (a, b, c) = emit_all((Tally::new(), Tally::new(), Tally::new()), &[1, 2, 3]);
+        assert_eq!((a.count, b.count, c.count), (3, 3, 3));
+    }
+}

@@ -208,7 +208,7 @@ pub struct InferenceService {
     pub name: String,
     /// GPUs pinned to the service.
     pub gpus: u32,
-    /// Mean GPU utilization in [0,1] (AWS reports 10–30%).
+    /// Mean GPU utilization in \[0,1\] (AWS reports 10–30%).
     pub mean_utilization: f64,
     /// Diurnal swing of utilization (fraction of the mean).
     pub diurnal_swing: f64,

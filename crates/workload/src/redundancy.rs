@@ -78,7 +78,7 @@ impl SweepCampaign {
 pub struct ReplicationModel {
     /// Probability one attempt succeeds, in (0, 1]. Driven by reporting
     /// quality: full hyper-parameters + seeds + code ≈ 0.9; "see paper" ≈
-    /// 0.3 (the inconsistent-reporting regime ref [21] documents).
+    /// 0.3 (the inconsistent-reporting regime ref \[21\] documents).
     pub attempt_success_prob: f64,
     /// Cost of one replication attempt, GPU-hours.
     pub attempt_gpu_hours: f64,

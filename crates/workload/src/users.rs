@@ -24,9 +24,9 @@ pub struct UserProfile {
     pub id: UserId,
     /// Research area (links demand to that area's deadlines).
     pub area: Area,
-    /// Urgency θᵤ ∈ [0,1]: weight on queue wait time.
+    /// Urgency θᵤ ∈ \[0,1\]: weight on queue wait time.
     pub urgency: f64,
-    /// Green preference θ_g ∈ [0,1]: weight on energy efficiency.
+    /// Green preference θ_g ∈ \[0,1\]: weight on energy efficiency.
     pub green_preference: f64,
     /// Multiplier on the population arrival rate (heavy-tailed: a few
     /// power users dominate cluster usage).

@@ -1,47 +1,57 @@
 //! Carbon-aware scheduling (§II-A, ref [16]): shift deferrable jobs into
 //! green-grid hours and measure what it buys, on a *paired* trace.
 //!
+//! Both policy cells replay one shared pre-built [`World`] and observe
+//! aggregates only (`Observe::aggregates()`): a policy comparison needs
+//! totals and job statistics, never hourly frames — so neither run grows
+//! a telemetry vector or retains a job record.
+//!
 //! ```sh
 //! cargo run --release --example carbon_aware
 //! ```
 
-use greener_world::core::driver::SimDriver;
+use greener_world::core::driver::{SimDriver, World};
+use greener_world::core::probe::Observe;
 use greener_world::core::scenario::Scenario;
 use greener_world::sched::PolicyKind;
 
 fn main() {
-    let mut base = Scenario::two_year_small(7).named("carbon-aware-demo");
-    base.horizon_hours = 120 * 24; // Jan–Apr 2020
+    let base = Scenario::two_year_small(7)
+        .named("carbon-aware-demo")
+        .with_horizon_days(120); // Jan–Apr 2020
 
-    let baseline = SimDriver::run(&base);
-    let shifted = SimDriver::run(&base.clone().with_policy(PolicyKind::CarbonAware {
-        green_threshold: 0.065,
-    }));
+    // One world, two policies: the comparison is paired by construction.
+    let world = World::build(&base);
+    let observe = Observe::aggregates();
+    let baseline = SimDriver::run_observed(&base, &world, observe);
+    let shifted = SimDriver::run_observed(
+        &base.clone().with_policy(PolicyKind::CarbonAware {
+            green_threshold: 0.065,
+        }),
+        &world,
+        observe,
+    );
 
     println!("=== carbon-aware temporal shifting (same workload trace) ===");
     println!(
         "{:<16} {:>12} {:>12} {:>14} {:>12}",
         "policy", "energy kWh", "carbon kg", "green share %", "mean wait h"
     );
-    for run in [&baseline, &shifted] {
+    for (name, out) in [("easy-backfill", &baseline), ("carbon-aware", &shifted)] {
         println!(
             "{:<16} {:>12.0} {:>12.0} {:>14.2} {:>12.2}",
-            if std::ptr::eq(run, &baseline) {
-                "easy-backfill"
-            } else {
-                "carbon-aware"
-            },
-            run.telemetry.total_energy_kwh(),
-            run.telemetry.total_carbon_kg(),
-            run.ledger.energy_weighted_green_share() * 100.0,
-            run.jobs.mean_wait_hours,
+            name,
+            out.aggregates.energy_kwh,
+            out.aggregates.carbon_kg,
+            out.aggregates.energy_weighted_green_share() * 100.0,
+            out.jobs.mean_wait_hours,
         );
     }
-    let saved = baseline.telemetry.total_carbon_kg() - shifted.telemetry.total_carbon_kg();
+    let saved = baseline.aggregates.carbon_kg - shifted.aggregates.carbon_kg;
     println!(
         "\ncarbon saved: {:.0} kg ({:.2}%) for {:+.2} h mean wait",
         saved,
-        100.0 * saved / baseline.telemetry.total_carbon_kg(),
+        100.0 * saved / baseline.aggregates.carbon_kg,
         shifted.jobs.mean_wait_hours - baseline.jobs.mean_wait_hours,
     );
 }

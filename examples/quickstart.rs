@@ -1,17 +1,22 @@
 //! Quickstart: simulate two weeks of the datacenter and print the energy,
-//! carbon and service picture.
+//! carbon and service picture — then re-run observing aggregates only,
+//! the fast path every sweep uses.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use greener_world::core::accounting::AccountingReport;
-use greener_world::core::driver::SimDriver;
+use greener_world::core::driver::{SimDriver, World};
+use greener_world::core::probe::Observe;
 use greener_world::core::scenario::Scenario;
 
 fn main() {
     // A reproducible world: one seed determines weather, grid and workload.
     let scenario = Scenario::quick(14, 2024).named("quickstart");
+
+    // `run` retains everything (hourly telemetry, purchase ledger,
+    // per-job records) — right for reports and figures.
     let run = SimDriver::run(&scenario);
     let report = AccountingReport::from_run(&run);
 
@@ -30,4 +35,24 @@ fn main() {
         report.carbon_opportunity_kg,
         100.0 * report.carbon_opportunity_kg / report.carbon_kg
     );
+
+    // When only totals matter (parameter sweeps, stress suites, grid
+    // searches), declare it: `Observe::aggregates()` skips hourly-frame
+    // assembly and job-record retention, and — because probes are
+    // decision-invisible — observes bit-identical numbers.
+    let world = World::build(&scenario);
+    let fast = SimDriver::run_observed(&scenario, &world, Observe::aggregates());
+    println!("\n--- aggregates-only observation (sweep fast path) ---");
+    println!("energy purchased   : {:.0} kWh", fast.aggregates.energy_kwh);
+    println!(
+        "carbon emitted     : {:.0} kg CO2",
+        fast.aggregates.carbon_kg
+    );
+    println!("jobs completed     : {}", fast.jobs.completed);
+    assert_eq!(
+        fast.aggregates.energy_kwh.to_bits(),
+        run.telemetry.total_energy_kwh().to_bits(),
+        "probe compositions observe identical bits"
+    );
+    println!("(bit-identical to the fully-instrumented run)");
 }

@@ -4,8 +4,43 @@
 //! *"A Green(er) World for A.I."* (IPDPSW 2022). It re-exports every
 //! sub-crate so the examples and integration tests can use one dependency.
 //!
-//! See `greener_core` for the main entry points ([`core::scenario::Scenario`]
-//! and [`core::driver::SimDriver`]).
+//! ## Running a scenario
+//!
+//! [`core::scenario::Scenario`] plus a seed fully determines a run;
+//! [`core::driver::SimDriver`] replays it. Two entry points share one
+//! replay loop and differ only in what they *observe*:
+//!
+//! * [`core::driver::SimDriver::run`] retains everything — hourly
+//!   telemetry, the purchase ledger, per-job records — in a
+//!   [`core::driver::RunResult`]. Use it for figures and reports.
+//! * [`core::driver::SimDriver::run_observed`] takes an
+//!   [`core::probe::Observe`] spec declaring what to record and returns
+//!   one [`core::probe::RunOutput`] report surface. The all-off spec
+//!   (`Observe::aggregates()`) is the sweep fast path: run totals at
+//!   O(1) observation memory plus job statistics at 16 bytes per
+//!   completed job (one wait and one slowdown sample, for the exact
+//!   p95), skipping per-frame vector growth and job-record retention.
+//!
+//! ```no_run
+//! use greener_world::core::driver::{SimDriver, World};
+//! use greener_world::core::probe::Observe;
+//! use greener_world::core::scenario::Scenario;
+//!
+//! let scenario = Scenario::quick(14, 42);
+//! // Fully instrumented:
+//! let run = SimDriver::run(&scenario);
+//! // Aggregates only, over a shared pre-built world (bit-identical —
+//! // probes are decision-invisible):
+//! let world = World::build(&scenario);
+//! let fast = SimDriver::run_observed(&scenario, &world, Observe::aggregates());
+//! assert_eq!(
+//!     fast.aggregates.energy_kwh.to_bits(),
+//!     run.telemetry.total_energy_kwh().to_bits(),
+//! );
+//! ```
+//!
+//! See `greener_core::probe` for the probe layer (built-in probes,
+//! composition rules, and why probes can never change results).
 
 pub use greener_climate as climate;
 pub use greener_core as core;

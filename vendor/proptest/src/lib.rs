@@ -128,7 +128,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Size specification for [`vec`]: a fixed length or a length range.
+    /// Size specification for `vec`: a fixed length or a length range.
     pub trait SizeRange {
         /// Draw a concrete length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;
