@@ -98,6 +98,22 @@ fn bench_world(c: &mut Criterion) {
             ))
         })
     });
+    // The same aggregates-only replay with the lone-arrival fast path
+    // disabled (`DispatchPath::Reference`): the delta to the lane above is
+    // what the fast path buys on a scenario whose arrivals mostly meet an
+    // empty queue.
+    g.bench_function("replay_small_2y_reference_dispatch", |b| {
+        let s = Scenario::two_year_small(greener_bench::seeds::WORLD)
+            .with_dispatch(greener_core::scenario::DispatchPath::Reference);
+        let world = greener_core::driver::World::build(&s);
+        b.iter(|| {
+            black_box(SimDriver::run_observed(
+                &s,
+                &world,
+                greener_core::probe::Observe::aggregates(),
+            ))
+        })
+    });
     // Saturated queue: thousands of waiting jobs, so every dispatch
     // stresses signal building and queue application end to end.
     g.bench_function("dispatch_heavy_90d", |b| {

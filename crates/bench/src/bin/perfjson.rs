@@ -4,6 +4,7 @@
 //! cargo run --release -p greener-bench --bin perfjson             # writes BENCH_engine.json
 //! cargo run --release -p greener-bench --bin perfjson -- -        # prints to stdout only
 //! cargo run --release -p greener-bench --bin perfjson -- --smoke - # 1 timed run/scenario (CI)
+//! cargo run --release -p greener-bench --bin perfjson -- --profile # + replay phase split
 //! ```
 //!
 //! Times the canonical engine scenarios — `driver_quick_30d`,
@@ -20,10 +21,22 @@
 //!
 //! `--smoke` runs each scenario once after warm-up: CI uses it to keep the
 //! bench binary from rotting without paying for stable timings.
+//!
+//! `--profile` additionally runs each replay scenario once through the
+//! driver's self-profiling mode (`SimDriver::run_profiled`, aggregates-only
+//! observation — the sweep fast path being optimized) and attaches the
+//! per-phase wall-time split and loop counters as a `"profile"` object:
+//! signal build, policy dispatch (with backfill visits counted
+//! separately), decision apply, tick cooling/ledger, plus unattributed
+//! remainder. Profiled replays pay for the clock reads, so the split is
+//! for *attribution*; the directly-timed lanes above stay the numbers of
+//! record. This is the "profile before picking" instrument behind
+//! ROADMAP's replay-remainder work.
 
 use greener_bench::scenarios::{dispatch_burst_7d, dispatch_heavy_90d};
 use greener_core::driver::{SimDriver, World};
 use greener_core::probe::Observe;
+use greener_core::profile::{ProfileCounter, ProfilePhase, ReplayProfile};
 use greener_core::scenario::Scenario;
 use std::time::Instant;
 
@@ -49,6 +62,29 @@ struct Measurement {
     completed_jobs: usize,
     max_queue_depth: u32,
     mean_queue_depth: f64,
+    /// Replay phase split from `SimDriver::run_profiled` (with
+    /// `--profile`; replay scenarios only).
+    profile: Option<ReplayProfile>,
+}
+
+/// Hand-format a [`ReplayProfile`] as the `"profile"` JSON object.
+fn profile_json(p: &ReplayProfile) -> String {
+    let mut parts: Vec<String> = vec![format!("\"total_ns\": {}", p.total.as_nanos())];
+    parts.extend(
+        ProfilePhase::ALL
+            .iter()
+            .map(|&ph| format!("\"{}_ns\": {}", ph.name(), p.phase(ph).as_nanos())),
+    );
+    parts.push(format!(
+        "\"unattributed_ns\": {}",
+        p.unattributed().as_nanos()
+    ));
+    parts.extend(
+        ProfileCounter::ALL
+            .iter()
+            .map(|&c| format!("\"{}\": {}", c.name(), p.counter(c))),
+    );
+    format!("{{{}}}", parts.join(", "))
 }
 
 /// Time `f` for at least `min_runs` and until `budget_secs` elapses.
@@ -67,6 +103,7 @@ fn time_scenario(
     s: &Scenario,
     min_runs: usize,
     budget_secs: f64,
+    profile: bool,
 ) -> Measurement {
     // Warm-up run; the queue-depth columns come straight off the
     // driver's `QueueDepthProbe` (aggregates-only otherwise — the
@@ -94,6 +131,14 @@ fn time_scenario(
     let (_, replay_agg_secs) = time_loop(min_runs, budget_secs / 2.0, || {
         std::hint::black_box(SimDriver::run_observed(s, &world, Observe::aggregates()));
     });
+    // Phase attribution over the same shared world and the same
+    // aggregates-only observation the fast lane times (one pass — the
+    // split is for attribution, not for end-to-end deltas).
+    let profile = profile.then(|| {
+        let (_, p) = SimDriver::run_profiled(s, &world, Observe::aggregates());
+        eprintln!("[perfjson] {name} profile: {}", p.summary());
+        p
+    });
     eprintln!(
         "[perfjson] {name}: {secs_per_run:.3} s/run ({runs} runs, worldgen {worldgen_secs:.3} + \
          replay {replay_secs:.3}; direct replay full {replay_full_secs:.3} vs aggregates-only \
@@ -112,6 +157,7 @@ fn time_scenario(
         completed_jobs: completed,
         max_queue_depth: depth.max,
         mean_queue_depth: depth.mean(),
+        profile,
     }
 }
 
@@ -141,12 +187,14 @@ fn time_worldgen(
         completed_jobs: trace_len,
         max_queue_depth: 0,
         mean_queue_depth: 0.0,
+        profile: None,
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let profile = args.iter().any(|a| a == "--profile");
     // Smoke mode: one timed run per scenario (plus the warm-up), so CI can
     // prove the bench binary still runs without waiting for stable timings.
     // Single-run timings are noise, so smoke mode never overwrites the
@@ -160,12 +208,14 @@ fn main() {
             &Scenario::quick(30, 3),
             min_runs,
             short_budget,
+            profile,
         ),
         time_scenario(
             "driver_small_2y",
             &Scenario::two_year_small(greener_bench::seeds::WORLD),
             min_runs,
             long_budget,
+            profile,
         ),
         time_worldgen(
             "worldgen_2y",
@@ -178,19 +228,26 @@ fn main() {
             &dispatch_heavy_90d(greener_bench::seeds::WORLD),
             min_runs,
             long_budget,
+            profile,
         ),
         time_scenario(
             "dispatch_burst_7d",
             &dispatch_burst_7d(greener_bench::seeds::WORLD),
             min_runs,
             short_budget,
+            profile,
         ),
     ];
 
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, m) in measurements.iter().enumerate() {
+        let profile_field = m
+            .profile
+            .as_ref()
+            .map(|p| format!(", \"profile\": {}", profile_json(p)))
+            .unwrap_or_default();
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"secs_per_run\": {:.6}, \"runs_per_sec\": {:.6}, \"worldgen_secs_per_run\": {:.6}, \"replay_secs_per_run\": {:.6}, \"replay_full_probes_secs_per_run\": {:.6}, \"replay_aggregates_only_secs_per_run\": {:.6}, \"runs\": {}, \"completed_jobs\": {}, \"max_queue_depth\": {}, \"mean_queue_depth\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"secs_per_run\": {:.6}, \"runs_per_sec\": {:.6}, \"worldgen_secs_per_run\": {:.6}, \"replay_secs_per_run\": {:.6}, \"replay_full_probes_secs_per_run\": {:.6}, \"replay_aggregates_only_secs_per_run\": {:.6}, \"runs\": {}, \"completed_jobs\": {}, \"max_queue_depth\": {}, \"mean_queue_depth\": {:.1}{}}}{}\n",
             m.name,
             m.secs_per_run,
             1.0 / m.secs_per_run,
@@ -202,6 +259,7 @@ fn main() {
             m.completed_jobs,
             m.max_queue_depth,
             m.mean_queue_depth,
+            profile_field,
             if i + 1 < measurements.len() { "," } else { "" }
         ));
     }

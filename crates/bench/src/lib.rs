@@ -8,6 +8,12 @@
 //! * `cargo bench` measures the simulation engine (DES throughput, sweep
 //!   scaling, forecaster fits) and regenerates each artifact under
 //!   Criterion timing.
+//! * `cargo run --release -p greener-bench --bin perfjson -- --profile`
+//!   adds the driver's self-profiling pass: per-phase replay wall time
+//!   (signal build / policy dispatch / decision apply / tick cooling) and
+//!   loop counters (fast-path dispatches, backfill visits) per scenario,
+//!   recorded in `BENCH_engine.json` — the instrument ROADMAP's
+//!   "profile before picking" rule refers to. See `greener_core::profile`.
 
 /// Standard seeds used by the benches and the repro binary so their outputs
 /// are comparable across runs.

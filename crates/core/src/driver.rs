@@ -63,11 +63,32 @@
 //!   growth and job-record retention entirely. Probes are
 //!   decision-invisible (read-only observers), so every composition
 //!   observes bit-identical numbers.
+//! * **Lone-arrival fast path** — on [`DispatchPath::Fast`] (the default)
+//!   a job arriving to an empty waiting queue with free capacity is
+//!   resolved through [`SchedPolicy::lone_dispatch`]: no queue push, no
+//!   fit-index maintenance, no one-job policy scan, no removal by id.
+//!   Profiling showed queue depth ≈ 0 is the dominant arrival regime on
+//!   the year-scale scenarios, and every built-in policy's lone decision
+//!   is provably the reference decision (pinned by golden + property
+//!   tests over the full per-job record stream).
+//! * **Memoized hourly cooling** — the tick handler evaluates the cooling
+//!   plant once per hour ([`greener_hpc::CoolingCache`]); COP, water use
+//!   and the saturation flag read that single [`CoolingPoint`] instead of
+//!   re-deriving the temperature response three times.
+//! * **Self-profiling seam** — the loop is generic over a
+//!   [`ReplayProfiler`] (no-op by default, so the instrumentation
+//!   compiles out); [`SimDriver::run_profiled`] attributes wall time to
+//!   loop phases and feeds `perfjson --profile` (see [`crate::profile`]).
 //!
 //! The golden determinism test below pins total energy/carbon/completions
 //! bit-for-bit for fixed seeds across all policy families, across both
-//! event-scheduler cores, across both world-generation schedules *and*
-//! across probe compositions (full set vs aggregates-only).
+//! event-scheduler cores, across both world-generation schedules, across
+//! both dispatch paths *and* across probe compositions (full set vs
+//! aggregates-only) — every performance knob keeps a bit-identical
+//! reference mode, checked through [`crate::equivalence`].
+//!
+//! [`CoolingPoint`]: greener_hpc::CoolingPoint
+//! [`SchedPolicy::lone_dispatch`]: greener_sched::SchedPolicy::lone_dispatch
 
 use greener_climate::WeatherPath;
 
@@ -75,8 +96,8 @@ use greener_forecast::Forecaster;
 use greener_grid::ledger::{PurchaseLedger, PurchaseRecord};
 use greener_grid::mix::GridPath;
 use greener_hpc::gpu::kind_utilization;
-use greener_hpc::{Cluster, HourObservation, TelemetryLog, TelemetryProbe};
-use greener_sched::{Decision, QueuedJob, SchedPolicy, SchedSignals, WaitQueue};
+use greener_hpc::{Cluster, CoolingCache, HourObservation, TelemetryLog, TelemetryProbe};
+use greener_sched::{Decision, LoneDispatch, QueuedJob, SchedPolicy, SchedSignals, WaitQueue};
 use greener_simkit::calendar::Calendar;
 use greener_simkit::calq::CalendarQueue;
 use greener_simkit::des::{EventQueue, EventScheduler};
@@ -89,7 +110,10 @@ use crate::probe::{
     AggregatesProbe, JobPoint, JobsProbe, LedgerProbe, Observe, PurchasePoint, QueueDepthProbe,
     RunOutput, RunProbes,
 };
-use crate::scenario::{ForecastMode, Scenario, SchedulerCore, WorldGen};
+use crate::profile::{
+    NoProfiler, ProfileCounter, ProfilePhase, ReplayProfile, ReplayProfiler, WallProfiler,
+};
+use crate::scenario::{DispatchPath, ForecastMode, Scenario, SchedulerCore, WorldGen};
 
 /// One completed job's accounting record (feeds Eq. 2's per-user `e_i`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -183,9 +207,11 @@ struct Running {
 }
 
 /// What one replay hands back: the probe set (now holding everything that
-/// was observed) plus the loop-side tallies probes cannot see.
-struct ReplayOutcome<O> {
+/// was observed) and the profiler, plus the loop-side tallies probes
+/// cannot see.
+struct ReplayOutcome<O, P> {
     probes: O,
+    prof: P,
     /// Jobs submitted within the horizon (= trace length).
     submitted: usize,
     /// Jobs still queued or running at the end.
@@ -203,7 +229,7 @@ const FORECAST_PERIOD: usize = 24;
 /// Mutable event-loop state. Every buffer in here persists across events;
 /// after warm-up the loop performs no heap allocation beyond what the
 /// attached probes retain (see the module docs for the architecture).
-struct Engine<'s, Q: EventScheduler<Event>, O: RunProbes> {
+struct Engine<'s, Q: EventScheduler<Event>, O: RunProbes, P: ReplayProfiler> {
     scenario: &'s Scenario,
     grid: &'s GridPath,
     weather: &'s WeatherPath,
@@ -230,12 +256,18 @@ struct Engine<'s, Q: EventScheduler<Event>, O: RunProbes> {
     forecast_green: Vec<f64>,
     /// Persistent forecaster for `ForecastMode::Model` (built once).
     forecast_model: Option<Box<dyn Forecaster + Send>>,
+    /// Per-run memo of the cooling plant's hourly operating point.
+    cooling: CoolingCache,
+    /// Replay profiler ([`NoProfiler`] on every normal entry point — the
+    /// instrumentation then compiles out entirely).
+    prof: P,
     hour_cursor: usize,
 }
 
-impl<Q: EventScheduler<Event>, O: RunProbes> Engine<'_, Q, O> {
+impl<Q: EventScheduler<Event>, O: RunProbes, P: ReplayProfiler> Engine<'_, Q, O, P> {
     /// Refresh `forecast_green` for the top of `hour_cursor`.
     fn refresh_forecast(&mut self) {
+        let m = self.prof.mark();
         forecast_at(
             self.scenario,
             self.grid,
@@ -244,6 +276,7 @@ impl<Q: EventScheduler<Event>, O: RunProbes> Engine<'_, Q, O> {
             &mut self.forecast_model,
             &mut self.forecast_green,
         );
+        self.prof.record(ProfilePhase::SignalBuild, m);
     }
 
     /// Build the dispatch signals, run the policy and apply its decisions.
@@ -251,20 +284,21 @@ impl<Q: EventScheduler<Event>, O: RunProbes> Engine<'_, Q, O> {
         if self.waiting.is_empty() || self.cluster.free_gpus() == 0 {
             return;
         }
+        self.prof.bump(ProfileCounter::DispatchCalls, 1);
         let h = self.hour_cursor.min(self.hours - 1);
-        let signals = SchedSignals {
+        let signals = build_signals(
+            self.grid,
+            self.weather,
+            h,
+            &self.forecast_green,
+            &self.completions,
             now,
-            green_share: self.grid.green_share[h],
-            ci_kg_mwh: self.grid.ci_kg_mwh[h],
-            lmp_usd_mwh: self.grid.lmp_usd_mwh[h],
-            temp_f: self.weather.temp_f[h],
-            forecast_green: &self.forecast_green,
-            forecast_ci: &[],
-            running_completions: &self.completions,
-        };
+        );
         self.decisions.clear();
+        let m = self.prof.mark();
         self.policy
             .dispatch(&self.waiting, &self.cluster, &signals, &mut self.decisions);
+        self.prof.record(ProfilePhase::PolicyDispatch, m);
         debug_assert!(
             greener_sched::policy::validate_decisions(
                 &self.decisions,
@@ -278,6 +312,8 @@ impl<Q: EventScheduler<Event>, O: RunProbes> Engine<'_, Q, O> {
         // packing, so this must match the decision sequence exactly). The
         // fit-indexed queue removes each started job by id in O(1) — no
         // position scan, no compaction pass.
+        let m = self.prof.mark();
+        let mut applied = 0u64;
         for di in 0..self.decisions.len() {
             let d = self.decisions[di];
             // Jobs are plain `Copy` data: no heap traffic here.
@@ -286,9 +322,88 @@ impl<Q: EventScheduler<Event>, O: RunProbes> Engine<'_, Q, O> {
             };
             if self.try_start(&q.job, d, now) {
                 self.waiting.remove(d.job_id);
+                applied += 1;
             }
             // On allocation failure (cannot happen for validated decisions)
             // the job simply stays queued at its position.
+        }
+        self.prof.record(ProfilePhase::DecisionApply, m);
+        self.prof.bump(ProfileCounter::Decisions, applied);
+    }
+
+    /// The lone-arrival fast path ([`DispatchPath::Fast`]): resolve a job
+    /// arriving to an empty waiting queue with free capacity through
+    /// [`SchedPolicy::lone_dispatch`], skipping the fit-indexed queue
+    /// round-trip (push, full dispatch over a one-job queue, remove by
+    /// id). Returns `false` if the policy declined
+    /// ([`LoneDispatch::Unsupported`]) — the caller then runs the
+    /// reference path.
+    ///
+    /// The observation stream is kept identical to the reference path:
+    /// `Submitted` is emitted with queue depth 1 (what the reference sees
+    /// right after its push) before any `Started`, and `try_start` is the
+    /// shared start bookkeeping, so a fast start performs the exact f64
+    /// operations of a reference start.
+    ///
+    /// Caller-checked preconditions: `Fast` mode, `waiting.is_empty()`,
+    /// and `job.gpus <= cluster.free_gpus()` — the contract
+    /// `lone_dispatch` is specified under.
+    fn lone_arrival(&mut self, job: Job, now: SimTime) -> bool {
+        debug_assert!(self.waiting.is_empty());
+        debug_assert!(job.gpus <= self.cluster.free_gpus());
+        let h = self.hour_cursor.min(self.hours - 1);
+        let signals = build_signals(
+            self.grid,
+            self.weather,
+            h,
+            &self.forecast_green,
+            &self.completions,
+            now,
+        );
+        let q = QueuedJob { job, enqueued: now };
+        let m = self.prof.mark();
+        let lone = self.policy.lone_dispatch(&q, &self.cluster, &signals);
+        self.prof.record(ProfilePhase::PolicyDispatch, m);
+        let submitted = JobPoint::Submitted {
+            job,
+            time: now,
+            queue_len: 1,
+        };
+        match lone {
+            LoneDispatch::Start { power_cap_w } => {
+                self.probes.observe(&submitted);
+                let m = self.prof.mark();
+                let started = self.try_start(
+                    &job,
+                    Decision {
+                        job_id: job.id,
+                        power_cap_w,
+                    },
+                    now,
+                );
+                self.prof.record(ProfilePhase::DecisionApply, m);
+                self.prof.bump(ProfileCounter::FastDispatches, 1);
+                self.prof.bump(ProfileCounter::Decisions, 1);
+                debug_assert!(started, "a fitting lone job must allocate");
+                if !started {
+                    // Defensive fallback (unreachable for a fitting gang):
+                    // leave the job queued, exactly like a failed reference
+                    // decision would.
+                    self.waiting.push(q);
+                }
+                true
+            }
+            LoneDispatch::Hold => {
+                // The policy holds the job. Queue it; the reference path's
+                // follow-up dispatch over the one-job queue provably emits
+                // no decision (that is `Hold`'s contract), so skipping it
+                // is decision-invisible.
+                self.waiting.push(q);
+                self.probes.observe(&submitted);
+                self.prof.bump(ProfileCounter::FastDispatches, 1);
+                true
+            }
+            LoneDispatch::Unsupported => false,
         }
     }
 
@@ -474,10 +589,47 @@ impl SimDriver {
         Self::check_world(scenario, world);
         match scenario.scheduler {
             SchedulerCore::Calendar => {
-                Self::observed::<CalendarQueue<Event>>(scenario, world, observe)
+                Self::observed::<CalendarQueue<Event>, _>(scenario, world, observe, NoProfiler).0
             }
-            SchedulerCore::Heap => Self::observed::<EventQueue<Event>>(scenario, world, observe),
+            SchedulerCore::Heap => {
+                Self::observed::<EventQueue<Event>, _>(scenario, world, observe, NoProfiler).0
+            }
         }
+    }
+
+    /// Replay a pre-built world with wall-clock self-profiling: like
+    /// [`SimDriver::run_observed`], plus a [`ReplayProfile`] attributing
+    /// replay time to loop phases (signal build, policy dispatch, decision
+    /// apply, tick cooling/ledger) and counting events, fast-path
+    /// dispatches and backfill visits.
+    ///
+    /// Profiling is observation-only — the returned [`RunOutput`] is
+    /// bit-identical to an un-profiled run — but reading the clock around
+    /// every phase costs real time, so use the profile for *attribution*
+    /// and the un-profiled lanes for end-to-end timings (see
+    /// [`crate::profile`]). `perfjson --profile` records this split in
+    /// `BENCH_engine.json`.
+    pub fn run_profiled(
+        scenario: &Scenario,
+        world: &World,
+        observe: Observe,
+    ) -> (RunOutput, ReplayProfile) {
+        Self::check_world(scenario, world);
+        let (out, prof) = match scenario.scheduler {
+            SchedulerCore::Calendar => Self::observed::<CalendarQueue<Event>, _>(
+                scenario,
+                world,
+                observe,
+                WallProfiler::new(),
+            ),
+            SchedulerCore::Heap => Self::observed::<EventQueue<Event>, _>(
+                scenario,
+                world,
+                observe,
+                WallProfiler::new(),
+            ),
+        };
+        (out, prof.finish())
     }
 
     /// Debug-check that `world` was generated for `scenario`.
@@ -510,7 +662,7 @@ impl SimDriver {
                 JobsProbe::with_records(world.trace.len()),
             ),
         );
-        let outcome = Self::replay::<Q, _>(scenario, world, probes);
+        let outcome = Self::replay::<Q, _, _>(scenario, world, probes, NoProfiler);
         let (telemetry, (ledger, jobs_probe)) = outcome.probes;
         let (jobs, records) = jobs_probe.finish(
             outcome.submitted,
@@ -528,32 +680,36 @@ impl SimDriver {
     }
 
     /// Dispatch `observe` to a statically-composed probe set.
-    fn observed<Q: EventScheduler<Event>>(
+    fn observed<Q: EventScheduler<Event>, P: ReplayProfiler>(
         scenario: &Scenario,
         world: &World,
         observe: Observe,
-    ) -> RunOutput {
+        prof: P,
+    ) -> (RunOutput, P) {
         if observe == Observe::aggregates() {
             // The fast path gets its own monomorphization: no `Option`
             // probes, nothing retained per frame or per job.
             let probes = (AggregatesProbe::new(), JobsProbe::stats_only());
-            let outcome = Self::replay::<Q, _>(scenario, world, probes);
+            let outcome = Self::replay::<Q, _, _>(scenario, world, probes, prof);
             let (agg, jobs_probe) = outcome.probes;
             let (jobs, _) = jobs_probe.finish(
                 outcome.submitted,
                 outcome.unfinished,
                 scenario.slo_wait_hours,
             );
-            return RunOutput {
-                scenario_name: scenario.name.clone(),
-                aggregates: agg.into_aggregates(),
-                jobs,
-                battery_cycles: outcome.battery_cycles,
-                telemetry: None,
-                ledger: None,
-                job_records: None,
-                queue_depth: None,
-            };
+            return (
+                RunOutput {
+                    scenario_name: scenario.name.clone(),
+                    aggregates: agg.into_aggregates(),
+                    jobs,
+                    battery_cycles: outcome.battery_cycles,
+                    telemetry: None,
+                    ledger: None,
+                    job_records: None,
+                    queue_depth: None,
+                },
+                outcome.prof,
+            );
         }
         let calendar = Calendar::new(scenario.start);
         let jobs_probe = if observe.job_records {
@@ -573,31 +729,36 @@ impl SimDriver {
                 observe.queue_depth.then(QueueDepthProbe::new),
             ),
         );
-        let outcome = Self::replay::<Q, _>(scenario, world, probes);
+        let outcome = Self::replay::<Q, _, _>(scenario, world, probes, prof);
         let ((agg, jobs_probe), ((telemetry, ledger), queue_depth)) = outcome.probes;
         let (jobs, records) = jobs_probe.finish(
             outcome.submitted,
             outcome.unfinished,
             scenario.slo_wait_hours,
         );
-        RunOutput {
-            scenario_name: scenario.name.clone(),
-            aggregates: agg.into_aggregates(),
-            jobs,
-            battery_cycles: outcome.battery_cycles,
-            telemetry: telemetry.map(TelemetryProbe::into_log),
-            ledger: ledger.map(LedgerProbe::into_ledger),
-            job_records: records,
-            queue_depth: queue_depth.map(QueueDepthProbe::into_stats),
-        }
+        (
+            RunOutput {
+                scenario_name: scenario.name.clone(),
+                aggregates: agg.into_aggregates(),
+                jobs,
+                battery_cycles: outcome.battery_cycles,
+                telemetry: telemetry.map(TelemetryProbe::into_log),
+                ledger: ledger.map(LedgerProbe::into_ledger),
+                job_records: records,
+                queue_depth: queue_depth.map(QueueDepthProbe::into_stats),
+            },
+            outcome.prof,
+        )
     }
 
-    /// The event loop, generic over the scheduler core and the probe set.
-    fn replay<Q: EventScheduler<Event>, O: RunProbes>(
+    /// The event loop, generic over the scheduler core, the probe set and
+    /// the profiler.
+    fn replay<Q: EventScheduler<Event>, O: RunProbes, P: ReplayProfiler>(
         scenario: &Scenario,
         world: &World,
         probes: O,
-    ) -> ReplayOutcome<O> {
+        prof: P,
+    ) -> ReplayOutcome<O, P> {
         let hours = scenario.horizon_hours;
         let World {
             weather,
@@ -644,15 +805,19 @@ impl SimDriver {
                 ForecastMode::Model(kind) => Some(kind.build(FORECAST_PERIOD)),
                 _ => None,
             },
+            cooling: CoolingCache::new(),
+            prof,
             hour_cursor: 0,
         };
         engine.refresh_forecast();
+        let fast_dispatch = scenario.dispatch == DispatchPath::Fast;
 
         // Piecewise-constant IT power integration.
         let mut last_t = SimTime::ZERO;
         let mut acc_it_j = 0.0f64;
 
         while let Some((t, ev)) = engine.queue.pop() {
+            engine.prof.bump(ProfileCounter::Events, 1);
             // Integrate IT power since the last event.
             let dt = (t - last_t).secs_f64();
             if dt > 0.0 {
@@ -662,30 +827,47 @@ impl SimDriver {
 
             match ev {
                 Event::Arrival(idx) => {
+                    engine.prof.bump(ProfileCounter::Arrivals, 1);
                     let job = trace[idx as usize];
-                    engine.waiting.push(QueuedJob { job, enqueued: t });
-                    let submitted = JobPoint::Submitted {
-                        job,
-                        time: t,
-                        queue_len: engine.waiting.len() as u32,
-                    };
-                    engine.probes.observe(&submitted);
-                    engine.dispatch(t);
+                    // Lone-arrival fast path: an arrival to an empty queue
+                    // with free capacity resolves without the fit-indexed
+                    // queue round-trip (see `DispatchPath`). Any other
+                    // arrival — and any policy that opts out — takes the
+                    // reference path below.
+                    let resolved = fast_dispatch
+                        && engine.waiting.is_empty()
+                        && job.gpus <= engine.cluster.free_gpus()
+                        && engine.lone_arrival(job, t);
+                    if !resolved {
+                        engine.waiting.push(QueuedJob { job, enqueued: t });
+                        let submitted = JobPoint::Submitted {
+                            job,
+                            time: t,
+                            queue_len: engine.waiting.len() as u32,
+                        };
+                        engine.probes.observe(&submitted);
+                        engine.dispatch(t);
+                    }
                 }
                 Event::Completion(id) => {
+                    engine.prof.bump(ProfileCounter::Completions, 1);
                     if engine.finish_job(id) {
                         engine.dispatch(t);
                     }
                 }
                 Event::Tick => {
-                    // Finalize the hour that just ended.
+                    engine.prof.bump(ProfileCounter::Ticks, 1);
+                    let tick_mark = engine.prof.mark();
+                    // Finalize the hour that just ended. The cooling plant
+                    // is evaluated once for the hour's temperature; COP,
+                    // water and saturation all read that one point.
                     let h = engine.hour_cursor;
                     let it_energy = Energy(acc_it_j);
                     acc_it_j = 0.0;
                     let temp = Fahrenheit(weather.temp_f[h]);
-                    let cop = scenario.cooling.cop(temp);
-                    let cooling_j =
-                        it_energy.value() / cop + scenario.cooling.fan_power_w * HOUR as f64;
+                    let cooling = engine.cooling.at(&scenario.cooling, temp);
+                    let cooling_j = it_energy.value() / cooling.cop
+                        + scenario.cooling.fan_power_w * HOUR as f64;
                     let cooling_energy = Energy(cooling_j);
                     let facility = it_energy + cooling_energy;
 
@@ -718,13 +900,14 @@ impl SimDriver {
                         ci_kg_mwh: grid.ci_kg_mwh[h],
                         carbon_kg: rec.carbon().value(),
                         cost_usd: rec.cost().value(),
-                        water_l: scenario.cooling.water_use(it_energy, temp).value(),
+                        water_l: cooling.water_use(it_energy).value(),
                         queue_len: engine.waiting.len() as u32,
                         running_gpus: engine.cluster.running_gpus(),
                         gpu_utilization: engine.cluster.gpu_utilization(),
-                        cooling_saturated: scenario.cooling.is_saturated(temp),
+                        cooling_saturated: cooling.saturated,
                     };
                     engine.probes.observe(&hour_obs);
+                    engine.prof.record(ProfilePhase::TickCooling, tick_mark);
 
                     engine.hour_cursor += 1;
                     if engine.hour_cursor < hours {
@@ -735,6 +918,10 @@ impl SimDriver {
                 }
             }
         }
+        engine.prof.bump(
+            ProfileCounter::BackfillVisits,
+            engine.policy.backfill_visits(),
+        );
 
         // Debug stats: a correct driver never schedules into the past.
         // Debug builds panic inside `schedule` at the offending call site;
@@ -752,10 +939,36 @@ impl SimDriver {
 
         ReplayOutcome {
             probes: engine.probes,
+            prof: engine.prof,
             submitted: trace.len(),
             unfinished: engine.waiting.len() + engine.running_count,
             battery_cycles: strategy.equivalent_cycles(),
         }
+    }
+}
+
+/// The environment snapshot policies dispatch against at hour `h` — the
+/// **single** construction site for both the full dispatch and the
+/// lone-arrival fast path, so the two paths can never feed a policy
+/// different signals (free function over the engine's disjoint fields,
+/// because a `&self` method would lock the policy's `&mut` borrow).
+fn build_signals<'a>(
+    grid: &'a GridPath,
+    weather: &'a WeatherPath,
+    h: usize,
+    forecast_green: &'a [f64],
+    completions: &'a [(SimTime, u32)],
+    now: SimTime,
+) -> SchedSignals<'a> {
+    SchedSignals {
+        now,
+        green_share: grid.green_share[h],
+        ci_kg_mwh: grid.ci_kg_mwh[h],
+        lmp_usd_mwh: grid.lmp_usd_mwh[h],
+        temp_f: weather.temp_f[h],
+        forecast_green,
+        forecast_ci: &[],
+        running_completions: completions,
     }
 }
 
@@ -935,8 +1148,8 @@ mod tests {
 
     /// Golden determinism regression: fixed seeds × the four policy
     /// families must produce *bit-identical* totals across refactors —
-    /// and across both [`SchedulerCore`] implementations *and* both
-    /// [`WorldGen`] schedules.
+    /// and across both [`SchedulerCore`] implementations, both
+    /// [`WorldGen`] schedules *and* both [`DispatchPath`]s.
     ///
     /// The original constants were captured from the pre-refactor driver
     /// (HashMap running set, per-dispatch completion rebuild, owned
@@ -985,47 +1198,53 @@ mod tests {
         ];
         for (seed, pi, energy_bits, carbon_bits, completed) in golden {
             let scenario = Scenario::quick(14, seed).with_policy(policies[pi]);
-            for core in [SchedulerCore::Calendar, SchedulerCore::Heap] {
-                for wg in [WorldGen::Parallel, WorldGen::Sequential] {
-                    let s = scenario.clone().with_scheduler(core).with_worldgen(wg);
-                    let r = SimDriver::run(&s);
-                    // Probe-composition axis: the aggregates-only fast
-                    // path must observe the exact same bits as the full
-                    // probe set (probes are decision-invisible).
-                    let world = World::build(&s);
-                    let agg = SimDriver::run_observed(&s, &world, Observe::aggregates());
-                    assert_eq!(
-                        agg.aggregates.energy_kwh.to_bits(),
-                        r.telemetry.total_energy_kwh().to_bits(),
-                        "probe composition changed energy: seed {seed}, policy {:?}, core {core:?}, worldgen {wg:?}",
-                        policies[pi]
-                    );
-                    assert_eq!(
-                        agg.aggregates.carbon_kg.to_bits(),
-                        r.telemetry.total_carbon_kg().to_bits(),
-                        "probe composition changed carbon: seed {seed}, policy {:?}, core {core:?}, worldgen {wg:?}",
-                        policies[pi]
-                    );
-                    assert_eq!(agg.jobs.completed, r.jobs.completed);
-                    if check_bits {
+            for wg in [WorldGen::Parallel, WorldGen::Sequential] {
+                // One world per schedule, shared by every replay-side axis
+                // below (the world is replay-invariant; both schedules
+                // must themselves be bit-identical, which the cross-`wg`
+                // golden comparison pins end to end).
+                let world = World::build(&scenario.clone().with_worldgen(wg));
+                for core in [SchedulerCore::Calendar, SchedulerCore::Heap] {
+                    for dp in [DispatchPath::Fast, DispatchPath::Reference] {
+                        let s = scenario
+                            .clone()
+                            .with_worldgen(wg)
+                            .with_scheduler(core)
+                            .with_dispatch(dp);
+                        let cell = format!(
+                            "seed {seed}, policy {:?}, core {core:?}, worldgen {wg:?}, dispatch {dp:?}",
+                            policies[pi]
+                        );
+                        let r = SimDriver::run_with_world(&s, &world);
+                        // Probe-composition axis: the aggregates-only fast
+                        // path must observe the exact same bits as the full
+                        // probe set (probes are decision-invisible).
+                        let agg = SimDriver::run_observed(&s, &world, Observe::aggregates());
                         assert_eq!(
+                            agg.aggregates.energy_kwh.to_bits(),
                             r.telemetry.total_energy_kwh().to_bits(),
-                            energy_bits,
-                            "energy drifted: seed {seed}, policy {:?}, core {core:?}, worldgen {wg:?}",
-                            policies[pi]
+                            "probe composition changed energy: {cell}"
                         );
                         assert_eq!(
+                            agg.aggregates.carbon_kg.to_bits(),
                             r.telemetry.total_carbon_kg().to_bits(),
-                            carbon_bits,
-                            "carbon drifted: seed {seed}, policy {:?}, core {core:?}, worldgen {wg:?}",
-                            policies[pi]
+                            "probe composition changed carbon: {cell}"
                         );
+                        assert_eq!(agg.jobs.completed, r.jobs.completed);
+                        if check_bits {
+                            assert_eq!(
+                                r.telemetry.total_energy_kwh().to_bits(),
+                                energy_bits,
+                                "energy drifted: {cell}"
+                            );
+                            assert_eq!(
+                                r.telemetry.total_carbon_kg().to_bits(),
+                                carbon_bits,
+                                "carbon drifted: {cell}"
+                            );
+                        }
+                        assert_eq!(r.jobs.completed, completed, "completions drifted: {cell}");
                     }
-                    assert_eq!(
-                        r.jobs.completed, completed,
-                        "completions drifted: seed {seed}, policy {:?}, core {core:?}, worldgen {wg:?}",
-                        policies[pi]
-                    );
                 }
             }
         }
@@ -1059,30 +1278,27 @@ mod tests {
     }
 
     /// Both scheduler cores must agree on *everything*, not just totals:
-    /// the full per-job record streams are compared for equality across a
-    /// scenario that exercises backfill against a deep queue.
+    /// the equivalence harness compares energy/carbon bits *and* the full
+    /// per-job record streams across a scenario that exercises backfill
+    /// against a deep queue (plus the golden matrix).
     #[test]
     fn scheduler_cores_agree_on_full_job_records() {
-        let base = Scenario::quick(10, 17);
-        let cal = SimDriver::run(&base.clone().with_scheduler(SchedulerCore::Calendar));
-        let heap = SimDriver::run(&base.with_scheduler(SchedulerCore::Heap));
-        assert_eq!(cal.job_records, heap.job_records);
-        assert_eq!(
-            cal.telemetry.total_energy_kwh().to_bits(),
-            heap.telemetry.total_energy_kwh().to_bits()
+        let mut matrix = crate::equivalence::quick_matrix();
+        matrix.push(Scenario::quick(10, 17).named("deep-queue 10d seed 17"));
+        crate::equivalence::assert_equivalent(
+            "scheduler core (Heap reference vs Calendar)",
+            &matrix,
+            |s| s.with_scheduler(SchedulerCore::Heap),
+            |s| s.with_scheduler(SchedulerCore::Calendar),
         );
-        assert_eq!(
-            cal.telemetry.total_carbon_kg().to_bits(),
-            heap.telemetry.total_carbon_kg().to_bits()
-        );
-        assert_eq!(cal.jobs.completed, heap.jobs.completed);
     }
 
     /// Both world-generation schedules must agree on *everything*: the
-    /// generated world is compared field-by-field and the full per-job
-    /// record streams after replay must match. Forcing multi-threaded
-    /// execution via `RAYON_NUM_THREADS` is CI's job; on any machine this
-    /// still pins the fork/join + shard-concatenation bookkeeping.
+    /// generated world is compared field-by-field and the replay is pinned
+    /// through the equivalence harness (energy/carbon bits + full per-job
+    /// records). Forcing multi-threaded execution via `RAYON_NUM_THREADS`
+    /// is CI's job; on any machine this still pins the fork/join +
+    /// shard-concatenation bookkeeping.
     #[test]
     fn worldgen_schedules_agree_on_world_and_job_records() {
         let base = Scenario::quick(16, 23);
@@ -1094,12 +1310,63 @@ mod tests {
         assert_eq!(wp.grid.green_share, ws.grid.green_share);
         assert_eq!(wp.grid.lmp_usd_mwh, ws.grid.lmp_usd_mwh);
         assert_eq!(wp.trace, ws.trace);
-        let par = SimDriver::run(&base.clone().with_worldgen(WorldGen::Parallel));
-        let seq = SimDriver::run(&base.with_worldgen(WorldGen::Sequential));
-        assert_eq!(par.job_records, seq.job_records);
-        assert_eq!(
-            par.telemetry.total_energy_kwh().to_bits(),
-            seq.telemetry.total_energy_kwh().to_bits()
+        crate::equivalence::assert_equivalent(
+            "world generation (Sequential reference vs Parallel)",
+            &[base],
+            |s| s.with_worldgen(WorldGen::Sequential),
+            |s| s.with_worldgen(WorldGen::Parallel),
+        );
+    }
+
+    /// The arrival fast path must reproduce the reference **decision
+    /// stream** across the golden matrix: same job→start assignments,
+    /// same start times, same power caps, same per-job energy — pinned
+    /// through the equivalence harness over one shared world per cell
+    /// (the world is replay-invariant, so any divergence is the dispatch
+    /// path's own).
+    #[test]
+    fn fast_dispatch_matches_reference_decision_stream_on_golden_matrix() {
+        use crate::equivalence::fingerprint_with_world;
+        for scenario in crate::equivalence::quick_matrix() {
+            let world = World::build(&scenario);
+            let reference = scenario.clone().with_dispatch(DispatchPath::Reference);
+            let fast = scenario.clone().with_dispatch(DispatchPath::Fast);
+            fingerprint_with_world(&reference, &world).assert_same(
+                &fingerprint_with_world(&fast, &world),
+                &format!("dispatch path (Reference vs Fast) [{}]", scenario.name),
+            );
+        }
+    }
+
+    /// The full-probe surface and the aggregates-only fast path are the
+    /// observation axis of the equivalence harness: `SimDriver::run` (the
+    /// reference, records retained) against `run_observed` with records
+    /// (the optimized report surface) — totals *and* decision streams.
+    #[test]
+    fn probe_surfaces_agree_through_equivalence_harness() {
+        use crate::equivalence::{assert_runners_equivalent, Fingerprint};
+        let matrix = [
+            Scenario::quick(10, 19).named("plain 10d seed 19"),
+            Scenario::quick(12, 29)
+                .with_battery()
+                .named("battery 12d seed 29"),
+        ];
+        assert_runners_equivalent(
+            "observation surface (RunResult reference vs RunOutput)",
+            &matrix,
+            |s| {
+                let r = SimDriver::run(s);
+                Fingerprint {
+                    energy_bits: r.telemetry.total_energy_kwh().to_bits(),
+                    carbon_bits: r.telemetry.total_carbon_kg().to_bits(),
+                    completed: r.jobs.completed,
+                    records: Some(r.job_records),
+                }
+            },
+            |s| {
+                let world = World::build(s);
+                crate::equivalence::fingerprint_with_world(s, &world)
+            },
         );
     }
 
@@ -1163,7 +1430,12 @@ mod tests {
 
         let s = Scenario::quick(10, 19).with_battery();
         let world = World::build(&s);
-        let outcome = SimDriver::replay::<CalendarQueue<Event>, _>(&s, &world, Audit::default());
+        let outcome = SimDriver::replay::<CalendarQueue<Event>, _, _>(
+            &s,
+            &world,
+            Audit::default(),
+            NoProfiler,
+        );
         let audit = outcome.probes;
         let reference = SimDriver::run(&s);
         assert_eq!(audit.submitted, reference.jobs.submitted);
@@ -1295,6 +1567,60 @@ mod tests {
         assert_eq!(out.battery_cycles, full.battery_cycles);
     }
 
+    /// Profiling is observation-only: a profiled run reproduces the
+    /// un-profiled bits, and its counters describe the replay it watched
+    /// (every event attributed, arrivals resolved fast on the default
+    /// path, phases bounded by the total).
+    #[test]
+    fn profiled_run_matches_unprofiled_and_counts_consistently() {
+        use crate::profile::{ProfileCounter, ProfilePhase};
+        let s = Scenario::quick(10, 21);
+        let world = World::build(&s);
+        let plain = SimDriver::run_observed(&s, &world, Observe::aggregates());
+        let (out, profile) = SimDriver::run_profiled(&s, &world, Observe::aggregates());
+        assert_eq!(
+            out.aggregates.energy_kwh.to_bits(),
+            plain.aggregates.energy_kwh.to_bits()
+        );
+        assert_eq!(
+            out.aggregates.carbon_kg.to_bits(),
+            plain.aggregates.carbon_kg.to_bits()
+        );
+        assert_eq!(out.jobs.completed, plain.jobs.completed);
+        let c = |k| profile.counter(k);
+        assert_eq!(
+            c(ProfileCounter::Events),
+            c(ProfileCounter::Arrivals) + c(ProfileCounter::Completions) + c(ProfileCounter::Ticks),
+            "every popped event is one of the three kinds"
+        );
+        assert_eq!(c(ProfileCounter::Arrivals) as usize, plain.jobs.submitted);
+        assert_eq!(c(ProfileCounter::Ticks), 10 * 24);
+        assert!(
+            c(ProfileCounter::Decisions) as usize >= plain.jobs.completed,
+            "every completed job was a decision"
+        );
+        assert!(
+            c(ProfileCounter::FastDispatches) > 0,
+            "quick scenarios mostly arrive at an empty queue"
+        );
+        let phase_sum: std::time::Duration =
+            ProfilePhase::ALL.iter().map(|&p| profile.phase(p)).sum();
+        assert!(phase_sum <= profile.total);
+        assert!(profile.phase(ProfilePhase::TickCooling) > std::time::Duration::ZERO);
+        // The Reference path must report no fast dispatches.
+        let (_, ref_profile) = SimDriver::run_profiled(
+            &s.with_dispatch(DispatchPath::Reference),
+            &world,
+            Observe::aggregates(),
+        );
+        assert_eq!(ref_profile.counter(ProfileCounter::FastDispatches), 0);
+        assert!(
+            ref_profile.counter(ProfileCounter::DispatchCalls)
+                > profile.counter(ProfileCounter::DispatchCalls),
+            "reference routes every arrival through the full dispatch"
+        );
+    }
+
     #[test]
     fn no_gpu_oversubscription_ever() {
         let r = quick_run(10, 11);
@@ -1402,6 +1728,64 @@ mod tests {
                     a.gpu_hours_completed.to_bits(),
                     b.gpu_hours_completed.to_bits()
                 );
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(
+                crate::equivalence::proptest_cases(6)
+            ))]
+            /// `DispatchPath::Fast` reproduces the reference **decision
+            /// stream** — the complete per-job record sequence
+            /// (assignment order, start times, power caps, per-job
+            /// energy), not just aggregate bits — for random scenarios
+            /// over every policy family with a lone-dispatch answer,
+            /// including the gated/capped wrappers and queue
+            /// segmentation. Both paths replay one shared world, so any
+            /// divergence is the dispatch path's own. CI boosts the case
+            /// count via `PROPTEST_CASES`.
+            #[test]
+            fn fast_dispatch_matches_reference_decision_stream(
+                seed in 0u64..1_000,
+                policy_idx in 0usize..8,
+                days in 3usize..9,
+            ) {
+                let policies = [
+                    PolicyKind::Fcfs,
+                    PolicyKind::Sjf,
+                    PolicyKind::EasyBackfill,
+                    PolicyKind::EasyBackfillLimited { depth: 2 },
+                    PolicyKind::StaticCap { cap_w: 160.0 },
+                    PolicyKind::TempAware,
+                    PolicyKind::CarbonAware { green_threshold: 0.06 },
+                    PolicyKind::CarbonAndTempAware,
+                ];
+                let s = Scenario::quick(days, seed).with_policy(policies[policy_idx]);
+                let world = World::build(&s);
+                let observe = Observe::aggregates().with_job_records();
+                let fast = SimDriver::run_observed(
+                    &s.clone().with_dispatch(DispatchPath::Fast),
+                    &world,
+                    observe,
+                );
+                let reference = SimDriver::run_observed(
+                    &s.with_dispatch(DispatchPath::Reference),
+                    &world,
+                    observe,
+                );
+                prop_assert_eq!(
+                    fast.job_records.as_ref().unwrap(),
+                    reference.job_records.as_ref().unwrap()
+                );
+                prop_assert_eq!(
+                    fast.aggregates.energy_kwh.to_bits(),
+                    reference.aggregates.energy_kwh.to_bits()
+                );
+                prop_assert_eq!(
+                    fast.aggregates.carbon_kg.to_bits(),
+                    reference.aggregates.carbon_kg.to_bits()
+                );
+                prop_assert_eq!(fast.jobs.unfinished, reference.jobs.unfinished);
             }
         }
     }

@@ -1,0 +1,255 @@
+//! The equivalence-test harness: pin an optimized engine configuration
+//! against its reference, bit for bit.
+//!
+//! Every performance knob in this workspace ships with a reference mode
+//! that *is* the semantics — [`SchedulerCore::Heap`] for the event queue,
+//! [`WorldGen::Sequential`] for world generation, the full probe set for
+//! observation, [`DispatchPath::Reference`] for arrival dispatch — and the
+//! optimized mode must reproduce it exactly. This module is the shared
+//! infrastructure those pins run on, so a future fast path adds one axis
+//! instead of hand-rolling another comparison loop:
+//!
+//! 1. [`Fingerprint`] condenses a run into what equivalence means here:
+//!    total energy and carbon **bits**, the completion count, and (when
+//!    retained) the full per-job record stream — job → start time, power
+//!    cap, finish, energy — i.e. the *decision stream*, not just the
+//!    aggregate outcome. Two configurations that agree on every job record
+//!    made the same scheduling decisions in the same order.
+//! 2. [`assert_equivalent`] runs a scenario matrix through two scenario
+//!    transforms (reference first) and asserts fingerprint equality;
+//!    [`assert_runners_equivalent`] is the generalization for axes that
+//!    change the *entry point* rather than the scenario (full probes vs
+//!    aggregates-only).
+//! 3. [`quick_matrix`] is the default matrix: every golden policy family ×
+//!    two seeds on the quick world, the same grid the driver's golden
+//!    determinism test pins to captured constants.
+//!
+//! The driver's unit tests route the Heap-vs-Calendar,
+//! Sequential-vs-Parallel, full-vs-aggregates and Fast-vs-Reference axes
+//! through these helpers, and `tests/observe.rs` exercises the harness
+//! from outside the crate. Property tests randomize the matrix;
+//! [`proptest_cases`] lets CI boost their case count via `PROPTEST_CASES`
+//! without slowing the default test run.
+//!
+//! [`SchedulerCore::Heap`]: crate::scenario::SchedulerCore::Heap
+//! [`WorldGen::Sequential`]: crate::scenario::WorldGen::Sequential
+//! [`DispatchPath::Reference`]: crate::scenario::DispatchPath::Reference
+
+use greener_sched::PolicyKind;
+
+use crate::driver::{JobRecord, SimDriver, World};
+use crate::probe::Observe;
+use crate::scenario::Scenario;
+
+/// What two equivalent engine configurations must agree on.
+///
+/// Energy and carbon are compared as **bit patterns** (two f64 streams
+/// that merely round alike do not count), completions as exact counts,
+/// and — when both sides retained them — the per-job records as full
+/// structural equality, which pins the decision stream: assignment order,
+/// start times, power caps and per-job energy attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fingerprint {
+    /// `f64::to_bits` of total purchased energy (kWh).
+    pub energy_bits: u64,
+    /// `f64::to_bits` of total carbon (kg).
+    pub carbon_bits: u64,
+    /// Completed jobs.
+    pub completed: usize,
+    /// Per-job records in completion order, if the producing entry point
+    /// retained them (`None` for aggregates-only runs; record comparison
+    /// is skipped unless both sides carry them).
+    pub records: Option<Vec<JobRecord>>,
+}
+
+impl Fingerprint {
+    /// Assert equality against another fingerprint with a labelled,
+    /// field-by-field failure message.
+    ///
+    /// # Panics
+    /// On any mismatch, naming the first differing field and `label`.
+    pub fn assert_same(&self, other: &Fingerprint, label: &str) {
+        assert_eq!(
+            self.energy_bits,
+            other.energy_bits,
+            "{label}: energy bits diverged ({} vs {})",
+            f64::from_bits(self.energy_bits),
+            f64::from_bits(other.energy_bits),
+        );
+        assert_eq!(
+            self.carbon_bits,
+            other.carbon_bits,
+            "{label}: carbon bits diverged ({} vs {})",
+            f64::from_bits(self.carbon_bits),
+            f64::from_bits(other.carbon_bits),
+        );
+        assert_eq!(
+            self.completed, other.completed,
+            "{label}: completions diverged"
+        );
+        if let (Some(a), Some(b)) = (&self.records, &other.records) {
+            assert_eq!(a.len(), b.len(), "{label}: record counts diverged");
+            for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+                assert_eq!(
+                    ra, rb,
+                    "{label}: decision stream diverged at completion #{i}"
+                );
+            }
+        }
+    }
+}
+
+/// Fingerprint a scenario end to end (world generation + replay),
+/// retaining the per-job record stream.
+pub fn fingerprint(scenario: &Scenario) -> Fingerprint {
+    let world = World::build(scenario);
+    fingerprint_with_world(scenario, &world)
+}
+
+/// Fingerprint a replay over a pre-built world (share one world across
+/// the axes of a replay-side knob — the world is policy- and
+/// replay-invariant).
+pub fn fingerprint_with_world(scenario: &Scenario, world: &World) -> Fingerprint {
+    let out = SimDriver::run_observed(scenario, world, Observe::aggregates().with_job_records());
+    Fingerprint {
+        energy_bits: out.aggregates.energy_kwh.to_bits(),
+        carbon_bits: out.aggregates.carbon_kg.to_bits(),
+        completed: out.jobs.completed,
+        records: out.job_records,
+    }
+}
+
+/// Run every scenario in `matrix` through two engine configurations and
+/// assert bit-identical fingerprints — `reference` maps a scenario onto
+/// the axis's reference mode, `optimized` onto the mode under test.
+///
+/// # Panics
+/// On the first scenario whose fingerprints differ.
+pub fn assert_equivalent(
+    label: &str,
+    matrix: &[Scenario],
+    reference: impl Fn(Scenario) -> Scenario,
+    optimized: impl Fn(Scenario) -> Scenario,
+) {
+    assert_runners_equivalent(
+        label,
+        matrix,
+        |s| fingerprint(&reference(s.clone())),
+        |s| fingerprint(&optimized(s.clone())),
+    );
+}
+
+/// The generalization of [`assert_equivalent`] for axes that change how a
+/// run is *performed or observed* rather than the scenario itself: each
+/// runner turns a scenario into a [`Fingerprint`] however it likes
+/// (different entry point, shared world, different probe set).
+///
+/// # Panics
+/// On the first scenario whose fingerprints differ.
+pub fn assert_runners_equivalent(
+    label: &str,
+    matrix: &[Scenario],
+    reference: impl Fn(&Scenario) -> Fingerprint,
+    optimized: impl Fn(&Scenario) -> Fingerprint,
+) {
+    for scenario in matrix {
+        let a = reference(scenario);
+        let b = optimized(scenario);
+        a.assert_same(&b, &format!("{label} [{}]", scenario.name));
+    }
+}
+
+/// The default equivalence matrix: the golden policy families × two seeds
+/// on the 14-day quick world (the grid the driver's golden determinism
+/// test pins to captured constants), named per cell for failure messages.
+pub fn quick_matrix() -> Vec<Scenario> {
+    let policies = [
+        PolicyKind::Fcfs,
+        PolicyKind::EasyBackfill,
+        PolicyKind::StaticCap { cap_w: 160.0 },
+        PolicyKind::CarbonAware {
+            green_threshold: 0.06,
+        },
+    ];
+    let mut matrix = Vec::new();
+    for seed in [11u64, 42] {
+        for policy in policies {
+            let name = format!("quick-14d seed {seed} {}", policy.label());
+            matrix.push(Scenario::quick(14, seed).with_policy(policy).named(name));
+        }
+    }
+    matrix
+}
+
+/// Property-test case count: `PROPTEST_CASES` when set (the CI boost job
+/// sets it), `default` otherwise. Mirrors how real proptest treats the
+/// variable, for configs that pick an explicit low default to keep debug
+/// runs fast.
+pub fn proptest_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::DispatchPath;
+
+    #[test]
+    fn fingerprint_is_deterministic_and_discriminating() {
+        let a = Scenario::quick(5, 3);
+        let fa = fingerprint(&a);
+        let fa2 = fingerprint(&a);
+        assert_eq!(fa, fa2);
+        fa.assert_same(&fa2, "self");
+        assert!(fa.records.as_ref().is_some_and(|r| !r.is_empty()));
+        let fb = fingerprint(&Scenario::quick(5, 4));
+        assert_ne!(fa, fb, "different seeds must not collide");
+    }
+
+    #[test]
+    #[should_panic(expected = "energy bits diverged")]
+    fn assert_same_reports_divergence() {
+        let f = fingerprint(&Scenario::quick(3, 7));
+        let mut g = f.clone();
+        g.energy_bits ^= 1;
+        f.assert_same(&g, "doctored");
+    }
+
+    #[test]
+    fn runners_generalization_accepts_shared_worlds() {
+        // One world, two replay-side runners — the shape replay axes use.
+        let matrix = [Scenario::quick(6, 13)];
+        assert_runners_equivalent(
+            "shared-world dispatch axis",
+            &matrix,
+            |s| fingerprint(&s.clone().with_dispatch(DispatchPath::Reference)),
+            |s| {
+                let fast = s.clone().with_dispatch(DispatchPath::Fast);
+                let world = World::build(&fast);
+                fingerprint_with_world(&fast, &world)
+            },
+        );
+    }
+
+    #[test]
+    fn quick_matrix_names_are_unique() {
+        let mut names: Vec<String> = quick_matrix().into_iter().map(|s| s.name).collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total);
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn proptest_cases_prefers_default_without_env() {
+        // CI sets PROPTEST_CASES only in the boost job; the unit-test
+        // environment must fall through to the explicit default.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(proptest_cases(6), 6);
+        }
+    }
+}

@@ -49,6 +49,12 @@
 //! * [`driver`] — the discrete-event simulation loop.
 //! * [`probe`] — the run-observation layer: built-in probes, the
 //!   [`Observe`] spec and the [`RunOutput`] report surface.
+//! * [`profile`] — replay self-profiling: per-phase wall time and event
+//!   counters behind [`driver::SimDriver::run_profiled`].
+//! * [`equivalence`] — the reference-vs-optimized test harness: run a
+//!   scenario matrix across two engine configurations and assert
+//!   bit-identical results (every fast path in the workspace is pinned
+//!   through it).
 //! * [`accounting`] — energy/carbon/cost/water accounting, opportunity
 //!   costs (§II-A) and the footprint-estimate-variance analysis (§IV-B).
 //! * [`strategy`] — energy-purchasing strategies: green-window utilization
@@ -63,9 +69,11 @@
 pub mod ablations;
 pub mod accounting;
 pub mod driver;
+pub mod equivalence;
 pub mod experiments;
 pub mod optimize;
 pub mod probe;
+pub mod profile;
 pub mod scenario;
 pub mod strategy;
 pub mod stress;
@@ -73,4 +81,5 @@ pub mod trends;
 
 pub use driver::{JobStats, RunResult, SimDriver};
 pub use probe::{Observe, RunAggregates, RunOutput};
-pub use scenario::{ForecastMode, Scenario};
+pub use profile::ReplayProfile;
+pub use scenario::{DispatchPath, ForecastMode, Scenario};

@@ -301,12 +301,11 @@ pub struct RunAggregates {
 
 impl RunAggregates {
     /// Fraction of hours with saturated cooling
-    /// (= `TelemetryLog::cooling_saturation_fraction`).
+    /// (= `TelemetryLog::cooling_saturation_fraction`; both surfaces go
+    /// through [`greener_hpc::cooling::saturation_fraction`], so they
+    /// cannot drift apart).
     pub fn cooling_saturation_fraction(&self) -> f64 {
-        if self.hours == 0 {
-            return 0.0;
-        }
-        self.cooling_saturated_hours as f64 / self.hours as f64
+        greener_hpc::cooling::saturation_fraction(self.cooling_saturated_hours, self.hours)
     }
 
     /// Mean facility PUE over hours with nonzero IT load (NaN if none).
@@ -442,6 +441,21 @@ pub struct Observe {
 
 impl Observe {
     /// Aggregate totals and job statistics only — the sweep fast path.
+    ///
+    /// ```
+    /// use greener_core::driver::{SimDriver, World};
+    /// use greener_core::probe::Observe;
+    /// use greener_core::scenario::Scenario;
+    ///
+    /// let scenario = Scenario::quick(3, 7);
+    /// let world = World::build(&scenario);
+    /// let out = SimDriver::run_observed(&scenario, &world, Observe::aggregates());
+    /// // Totals and job stats always materialize; nothing optional does.
+    /// assert!(out.aggregates.energy_kwh > 0.0);
+    /// assert_eq!(out.jobs.submitted, out.jobs.completed + out.jobs.unfinished);
+    /// assert!(out.telemetry.is_none() && out.ledger.is_none());
+    /// assert!(out.job_records.is_none() && out.queue_depth.is_none());
+    /// ```
     pub fn aggregates() -> Observe {
         Observe {
             telemetry: false,

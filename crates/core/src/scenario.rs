@@ -55,6 +55,39 @@ pub enum WorldGen {
     Sequential,
 }
 
+/// How arrivals reach the scheduling policy in the driver's replay loop.
+///
+/// Profiling showed the arrival→dispatch path at queue depth ≈ 0 (the
+/// common case on healthy clusters — `driver_small_2y`'s mean hourly depth
+/// is ~0) paying the full fit-indexed machinery for a trivial decision:
+/// push into the [`WaitQueue`], build signals, run the policy over a
+/// one-job queue, remove by id. `Fast` answers that case through
+/// [`SchedPolicy::lone_dispatch`] instead, skipping the queue round-trip
+/// entirely.
+///
+/// Like [`SchedulerCore`] and [`WorldGen`] this is purely a performance
+/// knob: the fast path must reproduce the reference **decision stream**
+/// (same job→start assignments, same start times, same caps — not just the
+/// same aggregate bits). `Reference` is the semantics golden tests compare
+/// against; the driver's golden determinism test runs the full cross
+/// product and a property test pins fast == reference per-job records over
+/// random scenarios and policies. A policy that cannot certify its
+/// lone-arrival behavior opts out (`LoneDispatch::Unsupported`) and is
+/// routed through the reference path even under `Fast`.
+///
+/// [`WaitQueue`]: greener_sched::WaitQueue
+/// [`SchedPolicy::lone_dispatch`]: greener_sched::SchedPolicy::lone_dispatch
+/// [`LoneDispatch::Unsupported`]: greener_sched::LoneDispatch::Unsupported
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchPath {
+    /// Resolve lone arrivals through the policy's fast path — the default.
+    Fast,
+    /// Route every arrival through the waiting queue and the full
+    /// dispatch — the reference implementation golden tests compare
+    /// against.
+    Reference,
+}
+
 /// How the carbon-aware scheduler obtains its green-share forecast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ForecastMode {
@@ -112,6 +145,9 @@ pub struct Scenario {
     /// World-generation schedule (performance knob; results are identical
     /// across modes).
     pub worldgen: WorldGen,
+    /// Arrival-dispatch path (performance knob; decision streams are
+    /// identical across paths).
+    pub dispatch: DispatchPath,
 }
 
 impl Scenario {
@@ -136,6 +172,7 @@ impl Scenario {
             slo_wait_hours: 24.0,
             scheduler: SchedulerCore::Calendar,
             worldgen: WorldGen::Parallel,
+            dispatch: DispatchPath::Fast,
         }
     }
 
@@ -225,6 +262,13 @@ impl Scenario {
         self
     }
 
+    /// Builder-style: replace the arrival-dispatch path.
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: DispatchPath) -> Scenario {
+        self.dispatch = dispatch;
+        self
+    }
+
     /// Builder-style: replace the forecast source carbon-aware policies
     /// see.
     #[must_use]
@@ -304,8 +348,10 @@ mod tests {
             .with_forecast(ForecastMode::Naive)
             .with_deadline_policy(DeadlinePolicy::Rolling)
             .with_horizon_days(5)
-            .with_cooling(CoolingModel::default());
+            .with_cooling(CoolingModel::default())
+            .with_dispatch(DispatchPath::Reference);
         assert_eq!(s.policy, PolicyKind::Fcfs);
+        assert_eq!(s.dispatch, DispatchPath::Reference);
         assert_eq!(s.seed, 77);
         assert_eq!(s.name, "custom");
         assert!(!matches!(s.strategy, PurchaseStrategy::None));

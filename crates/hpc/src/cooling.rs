@@ -59,15 +59,36 @@ impl Default for CoolingModel {
 }
 
 impl CoolingModel {
+    /// Evaluate the plant once at an outdoor temperature: COP, water-use
+    /// effectiveness and the saturation flag all depend only on `outdoor`
+    /// for a fixed model, so callers that need more than one of them per
+    /// hour (the driver's tick handler asks for all three) should evaluate
+    /// a [`CoolingPoint`] once and query it. Every scalar query on the
+    /// model ([`CoolingModel::cop`] and friends) goes through this one
+    /// evaluation, so a point's answers are bit-identical to the model's.
+    pub fn at(&self, outdoor: Fahrenheit) -> CoolingPoint {
+        let raw = self.cop_at_ref - self.cop_slope_per_degf * (outdoor.value() - self.ref_temp_f);
+        let wue = (self.wue_at_ref_l_per_kwh
+            + self.wue_slope_per_degf * (outdoor.value() - self.ref_temp_f).max(0.0))
+        .max(0.0);
+        let effective_design = self.design_temp_f - (1.0 - self.degradation_mult).max(0.0) * 40.0;
+        CoolingPoint {
+            cop: (raw * self.degradation_mult).clamp(self.cop_min, self.cop_max),
+            wue_l_per_kwh: wue,
+            water_availability: self.water_availability.min(1.0),
+            fan_power_w: self.fan_power_w,
+            saturated: outdoor.value() >= effective_design,
+        }
+    }
+
     /// Achieved COP at an outdoor temperature.
     pub fn cop(&self, outdoor: Fahrenheit) -> f64 {
-        let raw = self.cop_at_ref - self.cop_slope_per_degf * (outdoor.value() - self.ref_temp_f);
-        (raw * self.degradation_mult).clamp(self.cop_min, self.cop_max)
+        self.at(outdoor).cop
     }
 
     /// Cooling power for a given IT load at an outdoor temperature.
     pub fn cooling_power(&self, it_power: Power, outdoor: Fahrenheit) -> Power {
-        Power(it_power.value() / self.cop(outdoor) + self.fan_power_w)
+        self.at(outdoor).cooling_power(it_power)
     }
 
     /// Facility power-usage effectiveness at this operating point.
@@ -82,19 +103,103 @@ impl CoolingModel {
     /// temperature: WUE grows with temperature, and drought stress scales
     /// availability (unavailable water shows up as unmet cooling elsewhere).
     pub fn water_use(&self, it_energy: Energy, outdoor: Fahrenheit) -> Liters {
-        let wue = (self.wue_at_ref_l_per_kwh
-            + self.wue_slope_per_degf * (outdoor.value() - self.ref_temp_f).max(0.0))
-        .max(0.0);
-        Liters(it_energy.kwh() * wue * self.water_availability.min(1.0))
+        self.at(outdoor).water_use(it_energy)
     }
 
     /// True when the plant is beyond its design point — the stress harness
     /// counts these as cooling-risk hours. Degradation lowers the
     /// effective design temperature.
     pub fn is_saturated(&self, outdoor: Fahrenheit) -> bool {
-        let effective = self.design_temp_f - (1.0 - self.degradation_mult).max(0.0) * 40.0;
-        outdoor.value() >= effective
+        self.at(outdoor).saturated
     }
+}
+
+/// One outdoor-temperature operating point of a [`CoolingModel`],
+/// evaluated once and queried many times.
+///
+/// The driver's hourly tick needs the COP (for cooling energy), the water
+/// draw and the saturation flag of the same hour; evaluating them through
+/// one point shares the temperature-dependent arithmetic instead of
+/// repeating it per query. Queries reproduce the corresponding
+/// [`CoolingModel`] methods bit-for-bit: the model methods are themselves
+/// implemented over `at()`, so there is exactly one definition of each
+/// formula.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoolingPoint {
+    /// Achieved COP at this temperature.
+    pub cop: f64,
+    /// Water-use effectiveness at this temperature, L/kWh of IT energy
+    /// (before availability scaling).
+    wue_l_per_kwh: f64,
+    /// Usable fraction of cooling water (`water_availability` capped at 1).
+    water_availability: f64,
+    /// Fixed fan/pump power, watts.
+    fan_power_w: f64,
+    /// True when the plant is beyond its (degradation-adjusted) design
+    /// point at this temperature.
+    pub saturated: bool,
+}
+
+impl CoolingPoint {
+    /// Cooling power for a given IT load (= `P_IT / COP + fans`).
+    pub fn cooling_power(&self, it_power: Power) -> Power {
+        Power(it_power.value() / self.cop + self.fan_power_w)
+    }
+
+    /// Water evaporated to reject `it_energy` of heat at this temperature.
+    pub fn water_use(&self, it_energy: Energy) -> Liters {
+        Liters(it_energy.kwh() * self.wue_l_per_kwh * self.water_availability)
+    }
+}
+
+/// A one-entry memo of the last [`CoolingPoint`] evaluated, keyed on the
+/// exact temperature bits.
+///
+/// The driver owns one per run: within a tick the COP, water and
+/// saturation queries then share a single model evaluation, and
+/// consecutive hours at the same temperature skip it entirely. The cache
+/// assumes the model is fixed for its lifetime (true for a run — the
+/// scenario owns the model); results are bit-identical by construction
+/// since a hit returns the exact `CoolingPoint` a miss would compute.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoolingCache {
+    last: Option<(u64, CoolingPoint)>,
+}
+
+impl CoolingCache {
+    /// An empty cache.
+    pub fn new() -> CoolingCache {
+        CoolingCache::default()
+    }
+
+    /// The model's operating point at `outdoor`, memoized on the
+    /// temperature's bit pattern.
+    pub fn at(&mut self, model: &CoolingModel, outdoor: Fahrenheit) -> CoolingPoint {
+        let key = outdoor.value().to_bits();
+        if let Some((k, point)) = self.last {
+            if k == key {
+                return point;
+            }
+        }
+        let point = model.at(outdoor);
+        self.last = Some((key, point));
+        point
+    }
+}
+
+/// Fraction of observed hours with a saturated cooling plant (0 for an
+/// empty observation window).
+///
+/// This is the one shared definition behind
+/// `TelemetryLog::cooling_saturation_fraction` (post-hoc over retained
+/// frames) and `RunAggregates::cooling_saturation_fraction` (accumulated
+/// during the run) — the two surfaces must agree bit-for-bit on the same
+/// run, which the workspace's integration tests pin.
+pub fn saturation_fraction(saturated_hours: usize, hours: usize) -> f64 {
+    if hours == 0 {
+        return 0.0;
+    }
+    saturated_hours as f64 / hours as f64
 }
 
 #[cfg(test)]
@@ -185,6 +290,54 @@ mod tests {
             ..CoolingModel::default()
         };
         assert!(degraded.is_saturated(Fahrenheit(85.0)));
+    }
+
+    #[test]
+    fn point_reproduces_model_queries_bitwise() {
+        let m = CoolingModel {
+            degradation_mult: 0.85,
+            water_availability: 0.7,
+            ..CoolingModel::default()
+        };
+        let it = Power::from_kw(180.0);
+        let e = Energy::from_kwh(180.0);
+        for t in [-10.0, 20.0, 40.0, 63.5, 88.1, 95.0, 120.0] {
+            let temp = Fahrenheit(t);
+            let p = m.at(temp);
+            assert_eq!(p.cop.to_bits(), m.cop(temp).to_bits());
+            assert_eq!(
+                p.cooling_power(it).value().to_bits(),
+                m.cooling_power(it, temp).value().to_bits()
+            );
+            assert_eq!(
+                p.water_use(e).value().to_bits(),
+                m.water_use(e, temp).value().to_bits()
+            );
+            assert_eq!(p.saturated, m.is_saturated(temp));
+        }
+    }
+
+    #[test]
+    fn cache_hits_return_identical_points() {
+        let m = CoolingModel::default();
+        let mut cache = CoolingCache::new();
+        let a = cache.at(&m, Fahrenheit(55.0));
+        let b = cache.at(&m, Fahrenheit(55.0)); // hit
+        assert_eq!(a, b);
+        let c = cache.at(&m, Fahrenheit(72.0)); // miss re-evaluates
+        assert_eq!(c.cop.to_bits(), m.cop(Fahrenheit(72.0)).to_bits());
+        // Back to a previous temperature: single-entry memo re-evaluates,
+        // and re-evaluation reproduces the original bits.
+        let a2 = cache.at(&m, Fahrenheit(55.0));
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn saturation_fraction_shared_definition() {
+        assert_eq!(saturation_fraction(0, 0), 0.0);
+        assert_eq!(saturation_fraction(0, 10), 0.0);
+        assert_eq!(saturation_fraction(10, 10), 1.0);
+        assert!((saturation_fraction(1, 8) - 0.125).abs() < 1e-15);
     }
 
     #[test]

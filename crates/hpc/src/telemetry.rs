@@ -275,12 +275,13 @@ impl TelemetryLog {
         self.frames.iter().map(|f| f.water_l).sum()
     }
 
-    /// Fraction of hours with saturated cooling.
+    /// Fraction of hours with saturated cooling (shared definition:
+    /// [`crate::cooling::saturation_fraction`]).
     pub fn cooling_saturation_fraction(&self) -> f64 {
-        if self.frames.is_empty() {
-            return 0.0;
-        }
-        self.frames.iter().filter(|f| f.cooling_saturated).count() as f64 / self.frames.len() as f64
+        crate::cooling::saturation_fraction(
+            self.frames.iter().filter(|f| f.cooling_saturated).count(),
+            self.frames.len(),
+        )
     }
 
     /// Mean GPU utilization across the log.

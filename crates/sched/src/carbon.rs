@@ -12,7 +12,7 @@ use greener_hpc::Cluster;
 use greener_simkit::time::SimTime;
 use greener_workload::QueueClass;
 
-use crate::policy::{Decision, QueuedJob, SchedPolicy, SchedSignals};
+use crate::policy::{Decision, LoneDispatch, QueuedJob, SchedPolicy, SchedSignals};
 use crate::waitq::WaitQueue;
 
 /// Carbon-aware gating around a base policy.
@@ -100,6 +100,26 @@ impl SchedPolicy for CarbonAwarePolicy {
         self.base.dispatch(&visible, cluster, signals, out);
         self.visible = visible;
     }
+
+    // A deferred lone job leaves the base policy an empty visible queue
+    // (provably no decisions); a non-deferred one is handed to the base
+    // exactly as dispatch would.
+    fn lone_dispatch(
+        &mut self,
+        q: &QueuedJob,
+        cluster: &Cluster,
+        signals: &SchedSignals<'_>,
+    ) -> LoneDispatch {
+        if self.should_defer(q, signals) {
+            LoneDispatch::Hold
+        } else {
+            self.base.lone_dispatch(q, cluster, signals)
+        }
+    }
+
+    fn backfill_visits(&self) -> u64 {
+        self.base.backfill_visits()
+    }
 }
 
 /// Queue segmentation: urgent first at nominal power, then standard, then
@@ -168,6 +188,29 @@ impl SchedPolicy for GreenQueuePolicy {
                         power_cap_w: cap,
                     });
                 }
+            }
+        }
+    }
+
+    // One job, one tier: green jobs wait out dirty hours (unless their
+    // slack expired) and run capped; urgent/standard run at nominal.
+    fn lone_dispatch(
+        &mut self,
+        q: &QueuedJob,
+        cluster: &Cluster,
+        signals: &SchedSignals<'_>,
+    ) -> LoneDispatch {
+        if q.job.queue == QueueClass::Green {
+            if self.green_may_start(q, signals) {
+                LoneDispatch::Start {
+                    power_cap_w: self.green_cap_w,
+                }
+            } else {
+                LoneDispatch::Hold
+            }
+        } else {
+            LoneDispatch::Start {
+                power_cap_w: cluster.spec().gpu.nominal_power_w,
             }
         }
     }

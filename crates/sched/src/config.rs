@@ -174,6 +174,101 @@ mod tests {
         }
     }
 
+    /// The lone-arrival fast path must reproduce the full dispatch for a
+    /// one-job queue with free capacity, for **every** policy kind and a
+    /// spread of job shapes and environment signals — this is the
+    /// policy-level half of the driver's `DispatchPath::Fast ==
+    /// Reference` guarantee. None of the built-in kinds may fall back to
+    /// `Unsupported` (that would silently disable the fast path).
+    #[test]
+    fn lone_dispatch_matches_single_job_dispatch_for_every_kind() {
+        use crate::carbon::CarbonAwarePolicy;
+        use crate::policy::testutil::deferrable;
+        use crate::policy::LoneDispatch;
+
+        let kinds = [
+            PolicyKind::Fcfs,
+            PolicyKind::Sjf,
+            PolicyKind::EasyBackfill,
+            PolicyKind::EasyBackfillLimited { depth: 0 },
+            PolicyKind::EasyBackfillLimited { depth: 3 },
+            PolicyKind::StaticCap { cap_w: 150.0 },
+            PolicyKind::TempAware,
+            PolicyKind::CarbonAware {
+                green_threshold: 0.06,
+            },
+            PolicyKind::GreenQueues { green_cap_w: 160.0 },
+            PolicyKind::CarbonAndTempAware,
+        ];
+        let c = cluster(); // 16 GPUs, all free
+        let forecast = [0.02, 0.09, 0.12, 0.04];
+        let signal_grid = [
+            // (green_share, temp_f): green+cold, dirty+cold, dirty+hot.
+            (0.10, 20.0),
+            (0.03, 20.0),
+            (0.03, 95.0),
+        ];
+        let jobs = [
+            qjob(1, 2, 1.0),
+            qjob(2, 16, 40.0),
+            deferrable(qjob(3, 4, 2.0), 48),
+        ];
+        for k in kinds {
+            for &(green_share, temp_f) in &signal_grid {
+                let signals = crate::policy::SchedSignals {
+                    green_share,
+                    temp_f,
+                    forecast_green: &forecast,
+                    ..Default::default()
+                };
+                for q in jobs {
+                    let mut reference = k.build();
+                    let queue = wq([q]);
+                    let full = reference.dispatch_collect(&queue, &c, &signals);
+                    let mut fast = k.build();
+                    match fast.lone_dispatch(&q, &c, &signals) {
+                        LoneDispatch::Start { power_cap_w } => {
+                            assert_eq!(
+                                full.len(),
+                                1,
+                                "{}: fast started, reference did not",
+                                k.label()
+                            );
+                            assert_eq!(full[0].job_id, q.job.id);
+                            assert_eq!(
+                                full[0].power_cap_w.to_bits(),
+                                power_cap_w.to_bits(),
+                                "{}: cap mismatch",
+                                k.label()
+                            );
+                        }
+                        LoneDispatch::Hold => {
+                            assert!(
+                                full.is_empty(),
+                                "{}: fast held, reference dispatched {full:?}",
+                                k.label()
+                            );
+                        }
+                        LoneDispatch::Unsupported => {
+                            panic!("{}: built-in policy left the fast path off", k.label())
+                        }
+                    }
+                }
+            }
+        }
+        // The default gate knobs are also reachable directly (not through
+        // PolicyKind): a deferrable job in a dirty hour with greener hours
+        // forecast inside its slack must Hold.
+        let mut gate = CarbonAwarePolicy::new(Box::new(crate::policy::FcfsPolicy::default()));
+        let dirty = crate::policy::SchedSignals {
+            green_share: 0.03,
+            forecast_green: &forecast,
+            ..Default::default()
+        };
+        let q = deferrable(qjob(9, 2, 1.0), 48);
+        assert_eq!(gate.lone_dispatch(&q, &c, &dirty), LoneDispatch::Hold);
+    }
+
     #[test]
     fn static_cap_applies() {
         let mut p = PolicyKind::StaticCap { cap_w: 140.0 }.build();

@@ -8,7 +8,7 @@
 
 use greener_hpc::Cluster;
 
-use crate::policy::{Decision, SchedPolicy, SchedSignals};
+use crate::policy::{Decision, LoneDispatch, QueuedJob, SchedPolicy, SchedSignals};
 use crate::waitq::WaitQueue;
 
 /// Wrap a base policy and override every decision's cap with a fixed value.
@@ -47,6 +47,26 @@ impl SchedPolicy for PowerCapPolicy {
         for d in &mut out[start..] {
             d.power_cap_w = self.cap_w;
         }
+    }
+
+    // The wrapper only rewrites caps: the base's lone answer stands, with
+    // the cap overridden exactly like the dispatch path overrides it.
+    fn lone_dispatch(
+        &mut self,
+        q: &QueuedJob,
+        cluster: &Cluster,
+        signals: &SchedSignals<'_>,
+    ) -> LoneDispatch {
+        match self.base.lone_dispatch(q, cluster, signals) {
+            LoneDispatch::Start { .. } => LoneDispatch::Start {
+                power_cap_w: self.cap_w,
+            },
+            other => other,
+        }
+    }
+
+    fn backfill_visits(&self) -> u64 {
+        self.base.backfill_visits()
     }
 }
 
@@ -105,6 +125,25 @@ impl SchedPolicy for TempAwarePolicy {
         for d in &mut out[start..] {
             d.power_cap_w = cap;
         }
+    }
+
+    // Cap rewrite only, at the signal temperature — same as dispatch.
+    fn lone_dispatch(
+        &mut self,
+        q: &QueuedJob,
+        cluster: &Cluster,
+        signals: &SchedSignals<'_>,
+    ) -> LoneDispatch {
+        match self.base.lone_dispatch(q, cluster, signals) {
+            LoneDispatch::Start { .. } => LoneDispatch::Start {
+                power_cap_w: self.cap_at_temp(signals.temp_f, cluster.spec().gpu.nominal_power_w),
+            },
+            other => other,
+        }
+    }
+
+    fn backfill_visits(&self) -> u64 {
+        self.base.backfill_visits()
     }
 }
 

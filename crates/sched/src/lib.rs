@@ -28,7 +28,7 @@ pub use carbon::{CarbonAwarePolicy, GreenQueuePolicy};
 pub use config::PolicyKind;
 pub use energy::{PowerCapPolicy, TempAwarePolicy};
 pub use policy::{
-    BackfillLimit, Decision, EasyBackfillPolicy, FcfsPolicy, QueuedJob, SchedPolicy, SchedSignals,
-    SjfPolicy,
+    BackfillLimit, Decision, EasyBackfillPolicy, FcfsPolicy, LoneDispatch, QueuedJob, SchedPolicy,
+    SchedSignals, SjfPolicy,
 };
 pub use waitq::{DepthStats, WaitQueue};

@@ -74,6 +74,29 @@ pub struct Decision {
     pub power_cap_w: f64,
 }
 
+/// What a policy decides for a *lone* arrival — one job arriving to an
+/// otherwise empty waiting queue whose gang fits the free GPUs (see
+/// [`SchedPolicy::lone_dispatch`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoneDispatch {
+    /// Start the job now under this power cap — exactly the single
+    /// decision [`SchedPolicy::dispatch`] would emit for the one-job
+    /// queue.
+    Start {
+        /// Power cap for every GPU of the gang, watts.
+        power_cap_w: f64,
+    },
+    /// Keep the job queued — [`SchedPolicy::dispatch`] on the one-job
+    /// queue would provably emit no decision (e.g. a carbon gate
+    /// deferring it).
+    Hold,
+    /// No fast-path answer: the caller must run the reference path (queue
+    /// the job and invoke [`SchedPolicy::dispatch`]). This is the default,
+    /// so implementing the fast path is always opt-in and never changes a
+    /// policy that has not analyzed its own lone-arrival behavior.
+    Unsupported,
+}
+
 /// A scheduling policy.
 pub trait SchedPolicy: Send {
     /// Policy name for reports.
@@ -89,6 +112,40 @@ pub trait SchedPolicy: Send {
         signals: &SchedSignals<'_>,
         out: &mut Vec<Decision>,
     );
+
+    /// Fast-path dispatch for the hot-loop common case: `q` just arrived
+    /// to an **empty** waiting queue and `q.job.gpus <=
+    /// cluster.free_gpus()`. The driver uses the answer to start (or hold)
+    /// the job without touching the fit-indexed queue machinery at all.
+    ///
+    /// # Contract
+    ///
+    /// Under exactly those preconditions, the answer must reproduce what
+    /// [`SchedPolicy::dispatch`] would do for the queue `[q]`:
+    /// [`LoneDispatch::Start`] iff it would emit the single decision
+    /// `(q.job.id, power_cap_w)`, [`LoneDispatch::Hold`] iff it would emit
+    /// no decision. Anything short of that certainty must return
+    /// [`LoneDispatch::Unsupported`] (the default), which routes the
+    /// arrival through the reference path. The driver's golden determinism
+    /// test and a property test pin fast == reference decision streams for
+    /// every built-in policy.
+    fn lone_dispatch(
+        &mut self,
+        q: &QueuedJob,
+        cluster: &Cluster,
+        signals: &SchedSignals<'_>,
+    ) -> LoneDispatch {
+        let _ = (q, cluster, signals);
+        LoneDispatch::Unsupported
+    }
+
+    /// Total backfill candidates examined by this policy so far (0 for
+    /// policies without a backfill scan). Wrappers delegate to their base
+    /// policy; the driver's profiling mode reads this once per run, so the
+    /// counter costs one add per candidate on the scan itself.
+    fn backfill_visits(&self) -> u64 {
+        0
+    }
 
     /// Convenience wrapper returning a fresh decision vector. Tests and
     /// one-shot callers use this; the driver's hot loop calls
@@ -140,6 +197,18 @@ impl SchedPolicy for FcfsPolicy {
             }
         }
     }
+
+    // A lone fitting arrival is an unblocked head: FCFS starts it.
+    fn lone_dispatch(
+        &mut self,
+        _q: &QueuedJob,
+        cluster: &Cluster,
+        _signals: &SchedSignals<'_>,
+    ) -> LoneDispatch {
+        LoneDispatch::Start {
+            power_cap_w: self.cap_w.unwrap_or(cluster.spec().gpu.nominal_power_w),
+        }
+    }
 }
 
 /// Shortest-job-first (by nominal duration), greedy packing.
@@ -188,6 +257,18 @@ impl SchedPolicy for SjfPolicy {
             }
         }
     }
+
+    // Sorting a one-element queue is the identity: SJF starts the job.
+    fn lone_dispatch(
+        &mut self,
+        _q: &QueuedJob,
+        cluster: &Cluster,
+        _signals: &SchedSignals<'_>,
+    ) -> LoneDispatch {
+        LoneDispatch::Start {
+            power_cap_w: cluster.spec().gpu.nominal_power_w,
+        }
+    }
 }
 
 /// How far EASY backfill searches the waiting queue for fill-in jobs.
@@ -232,6 +313,9 @@ pub enum BackfillLimit {
 pub struct EasyBackfillPolicy {
     /// Candidate budget per dispatch (see [`BackfillLimit`]).
     pub limit: BackfillLimit,
+    /// Backfill candidates examined over this policy's lifetime (for the
+    /// driver's profiling mode; see [`SchedPolicy::backfill_visits`]).
+    visits: u64,
 }
 
 impl EasyBackfillPolicy {
@@ -239,6 +323,7 @@ impl EasyBackfillPolicy {
     pub fn with_depth(depth: u32) -> EasyBackfillPolicy {
         EasyBackfillPolicy {
             limit: BackfillLimit::Depth(depth),
+            ..EasyBackfillPolicy::default()
         }
     }
     /// Earliest time `gpus` become available given current free GPUs and
@@ -333,6 +418,7 @@ impl SchedPolicy for EasyBackfillPolicy {
                 break;
             };
             examined += 1;
+            self.visits += 1;
             let finish = signals.now + q.job.nominal_duration();
             let ok = finish <= shadow || spare_at_shadow.saturating_sub(q.job.gpus) >= head_needs;
             if ok {
@@ -346,6 +432,23 @@ impl SchedPolicy for EasyBackfillPolicy {
                 });
             }
         }
+    }
+
+    // A lone fitting arrival is the whole FCFS prefix: it starts, nothing
+    // is blocked, and no backfill scan happens — for any `BackfillLimit`.
+    fn lone_dispatch(
+        &mut self,
+        _q: &QueuedJob,
+        cluster: &Cluster,
+        _signals: &SchedSignals<'_>,
+    ) -> LoneDispatch {
+        LoneDispatch::Start {
+            power_cap_w: cluster.spec().gpu.nominal_power_w,
+        }
+    }
+
+    fn backfill_visits(&self) -> u64 {
+        self.visits
     }
 }
 

@@ -21,12 +21,12 @@
 //!   completed job (one wait and one slowdown sample, for the exact
 //!   p95), skipping per-frame vector growth and job-record retention.
 //!
-//! ```no_run
+//! ```
 //! use greener_world::core::driver::{SimDriver, World};
 //! use greener_world::core::probe::Observe;
 //! use greener_world::core::scenario::Scenario;
 //!
-//! let scenario = Scenario::quick(14, 42);
+//! let scenario = Scenario::quick(7, 42);
 //! // Fully instrumented:
 //! let run = SimDriver::run(&scenario);
 //! // Aggregates only, over a shared pre-built world (bit-identical —
@@ -37,6 +37,7 @@
 //!     fast.aggregates.energy_kwh.to_bits(),
 //!     run.telemetry.total_energy_kwh().to_bits(),
 //! );
+//! assert_eq!(fast.jobs.completed, run.jobs.completed);
 //! ```
 //!
 //! See `greener_core::probe` for the probe layer (built-in probes,
