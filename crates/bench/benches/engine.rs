@@ -114,10 +114,35 @@ fn bench_world(c: &mut Criterion) {
             ))
         })
     });
+    // The same aggregates-only replay with the SoA apply slab disabled
+    // (`ApplyPath::Reference`): the delta to `replay_small_2y_aggregates`
+    // isolates what the split hot/cold job-state columns buy on the
+    // start/finish hot loop.
+    g.bench_function("replay_small_2y_reference_apply", |b| {
+        let s = Scenario::two_year_small(greener_bench::seeds::WORLD)
+            .with_apply(greener_core::scenario::ApplyPath::Reference);
+        let world = greener_core::driver::World::build(&s);
+        b.iter(|| {
+            black_box(SimDriver::run_observed(
+                &s,
+                &world,
+                greener_core::probe::Observe::aggregates(),
+            ))
+        })
+    });
     // Saturated queue: thousands of waiting jobs, so every dispatch
     // stresses signal building and queue application end to end.
     g.bench_function("dispatch_heavy_90d", |b| {
         let s = greener_bench::scenarios::dispatch_heavy_90d(greener_bench::seeds::WORLD);
+        b.iter(|| black_box(SimDriver::run(&s)))
+    });
+    // The same saturated queue with the backfill reject memo disabled
+    // (`BackfillPath::Reference`): the delta to `dispatch_heavy_90d`
+    // isolates what skipping proven-reject rescans buys when consecutive
+    // dispatches face an unchanged queue head.
+    g.bench_function("replay_heavy_90d_reference_backfill", |b| {
+        let s = greener_bench::scenarios::dispatch_heavy_90d(greener_bench::seeds::WORLD)
+            .with_backfill(greener_core::scenario::BackfillPath::Reference);
         b.iter(|| black_box(SimDriver::run(&s)))
     });
     // Bursty arrivals: deep queues that flood in spikes and drain against

@@ -28,7 +28,13 @@
 //! per-phase wall-time split and loop counters as a `"profile"` object:
 //! signal build, policy dispatch (with backfill visits counted
 //! separately), decision apply, tick cooling/ledger, plus unattributed
-//! remainder. Profiled replays pay for the clock reads, so the split is
+//! remainder. The apply/unattributed interiors are further split into
+//! overlapping sub-phases (`event_pop`, `apply_alloc`, `apply_slab`,
+//! `apply_completions`, `apply_probes`, `apply_schedule`, `tick_settle`,
+//! emitted as `*_ns`), and the fast-path counters
+//! (`fast_apply_events`, `backfill_cache_hits`, `backfill_visits_saved`)
+//! prove the SoA apply slab and the backfill reject memo actually engage.
+//! Profiled replays pay for the clock reads, so the split is
 //! for *attribution*; the directly-timed lanes above stay the numbers of
 //! record. This is the "profile before picking" instrument behind
 //! ROADMAP's replay-remainder work.
@@ -36,7 +42,7 @@
 use greener_bench::scenarios::{dispatch_burst_7d, dispatch_heavy_90d};
 use greener_core::driver::{SimDriver, World};
 use greener_core::probe::Observe;
-use greener_core::profile::{ProfileCounter, ProfilePhase, ReplayProfile};
+use greener_core::profile::{ProfileCounter, ProfilePhase, ProfileSubPhase, ReplayProfile};
 use greener_core::scenario::Scenario;
 use std::time::Instant;
 
@@ -79,6 +85,14 @@ fn profile_json(p: &ReplayProfile) -> String {
         "\"unattributed_ns\": {}",
         p.unattributed().as_nanos()
     ));
+    // Sub-phases overlap the top-level phases (and the unattributed
+    // remainder) rather than partitioning them — see
+    // `greener_core::profile` for the containment relations.
+    parts.extend(
+        ProfileSubPhase::ALL
+            .iter()
+            .map(|&sp| format!("\"{}_ns\": {}", sp.name(), p.sub(sp).as_nanos())),
+    );
     parts.extend(
         ProfileCounter::ALL
             .iter()

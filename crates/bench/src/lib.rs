@@ -14,6 +14,32 @@
 //!   loop counters (fast-path dispatches, backfill visits) per scenario,
 //!   recorded in `BENCH_engine.json` — the instrument ROADMAP's
 //!   "profile before picking" rule refers to. See `greener_core::profile`.
+//!
+//! ## `BENCH_engine.json` profile schema
+//!
+//! Each replay scenario's `"profile"` object (present with `--profile`)
+//! contains, in order:
+//!
+//! * `total_ns` — whole-replay wall time for the profiled pass;
+//! * one `<phase>_ns` per top-level [`greener_core::profile::ProfilePhase`]
+//!   (`signal_build`, `policy_dispatch`, `decision_apply`, `tick_cooling`,
+//!   `tick_ledger`) — disjoint slices of the replay loop;
+//! * `unattributed_ns` — `total` minus the top-level phases (completion
+//!   handling, event-queue pops, probe wiring);
+//! * one `<sub_phase>_ns` per
+//!   [`greener_core::profile::ProfileSubPhase`] (`event_pop`,
+//!   `apply_alloc`, `apply_slab`, `apply_completions`, `apply_probes`,
+//!   `apply_schedule`, `tick_settle`). Sub-phases **overlap** the
+//!   top-level split: starts are measured inside `decision_apply`,
+//!   finishes inside the unattributed remainder, and `tick_settle` inside
+//!   `tick_cooling` — so they attribute interiors and must not be summed
+//!   with the phases;
+//! * one field per [`greener_core::profile::ProfileCounter`] — loop
+//!   counts (events, decisions, dispatch calls, backfill visits, …) plus
+//!   the fast-path proof counters `fast_apply_events` (SoA apply slab
+//!   touches: one per start + one per finish), `backfill_cache_hits` and
+//!   `backfill_visits_saved` (reject-memo engagement; see
+//!   `greener_sched::waitq` for the invalidation rules).
 
 /// Standard seeds used by the benches and the repro binary so their outputs
 /// are comparable across runs.

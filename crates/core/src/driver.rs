@@ -38,9 +38,17 @@
 //!   and completion slices from engine-owned buffers; building the
 //!   per-dispatch snapshot costs zero heap traffic (it used to `to_vec()`
 //!   the 24-hour forecast on every dispatch).
-//! * **Dense running-job slab** — `JobId`s are assigned densely by the
-//!   trace generator, so running jobs live in a `Vec<Option<Running>>`
-//!   indexed by id instead of a `HashMap` (no hashing, no rehash growth).
+//! * **Dense running-job slab, struct-of-arrays** — `JobId`s are assigned
+//!   densely by the trace generator, so running jobs live in id-indexed
+//!   arrays instead of a `HashMap` (no hashing, no rehash growth). On
+//!   [`ApplyPath::Fast`] (the default) the slab is additionally split
+//!   struct-of-arrays: a hot finish-time column the completion path reads
+//!   first, and cold record columns (start, cap, energy) read exactly once
+//!   when the [`JobRecord`] is reconstructed — from the trace row plus the
+//!   cold columns, reloading the very f64 values a `Reference` slab would
+//!   have stored, so the record stream is bit-identical
+//!   ([`ApplyPath::Reference`] keeps the array-of-structs slab as the
+//!   pinned reference).
 //! * **Incremental completion profile** — the `(finish, gpus)` list EASY
 //!   backfill reserves against is maintained sorted by binary-search
 //!   insert/remove on allocate/release, instead of being rebuilt and
@@ -71,6 +79,13 @@
 //!   the year-scale scenarios, and every built-in policy's lone decision
 //!   is provably the reference decision (pinned by golden + property
 //!   tests over the full per-job record stream).
+//! * **Backfill reject memo** — on [`BackfillPath::Cached`] (the default)
+//!   the driver enables the policy-side reject memo
+//!   ([`greener_sched::SchedPolicy::set_reject_cache`]): an all-reject
+//!   backfill scan is memoized against its exact inputs, and consecutive
+//!   dispatches against an unchanged saturated queue resume past every
+//!   proven reject instead of rescanning ([`BackfillPath::Reference`]
+//!   rescans from scratch; both are pinned bit-identical).
 //! * **Memoized hourly cooling** — the tick handler evaluates the cooling
 //!   plant once per hour ([`greener_hpc::CoolingCache`]); COP, water use
 //!   and the saturation flag read that single [`CoolingPoint`] instead of
@@ -111,9 +126,12 @@ use crate::probe::{
     RunOutput, RunProbes,
 };
 use crate::profile::{
-    NoProfiler, ProfileCounter, ProfilePhase, ReplayProfile, ReplayProfiler, WallProfiler,
+    NoProfiler, ProfileCounter, ProfilePhase, ProfileSubPhase, ReplayProfile, ReplayProfiler,
+    WallProfiler,
 };
-use crate::scenario::{DispatchPath, ForecastMode, Scenario, SchedulerCore, WorldGen};
+use crate::scenario::{
+    ApplyPath, BackfillPath, DispatchPath, ForecastMode, Scenario, SchedulerCore, WorldGen,
+};
 
 /// One completed job's accounting record (feeds Eq. 2's per-user `e_i`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -206,6 +224,10 @@ struct Running {
     record: JobRecord,
 }
 
+/// Vacant-slot sentinel for the `ApplyPath::Fast` finish column (far past
+/// any reachable simulation time).
+const VACANT_FINISH: SimTime = SimTime(u64::MAX);
+
 /// What one replay hands back: the probe set (now holding everything that
 /// was observed) and the profiler, plus the loop-side tallies probes
 /// cannot see.
@@ -239,13 +261,38 @@ struct Engine<'s, Q: EventScheduler<Event>, O: RunProbes, P: ReplayProfiler> {
     queue: Q,
     /// Fit-indexed waiting queue shared with the policies.
     waiting: WaitQueue,
-    /// Running jobs in a dense slab indexed by `JobId` (ids are assigned
-    /// densely by the trace generator).
+    /// Running jobs under `ApplyPath::Reference`: the classic dense
+    /// array-of-structs slab indexed by `JobId` (ids are assigned densely
+    /// by the trace generator). Empty under `ApplyPath::Fast`.
     running: Vec<Option<Running>>,
+    /// `ApplyPath::Fast` hot column: finish time per trace index,
+    /// [`VACANT_FINISH`] when the job is not running. The completion path
+    /// touches only this column to detect staleness. Empty under
+    /// `ApplyPath::Reference`.
+    finish_at: Vec<SimTime>,
+    /// `ApplyPath::Fast` cold columns: written once at start, read once at
+    /// completion to reconstruct the [`JobRecord`] together with the trace
+    /// row (same stored f64 values → bit-identical records).
+    cold_start: Vec<SimTime>,
+    cold_cap_w: Vec<f64>,
+    cold_energy_j: Vec<f64>,
+    /// The immutable job trace (for `ApplyPath::Fast` record
+    /// reconstruction: trace rows carry every submit-time field).
+    trace: &'s [Job],
+    /// `scenario.apply == ApplyPath::Fast`, hoisted.
+    apply_fast: bool,
     running_count: usize,
     /// `(finish, gpus)` of running jobs, sorted soonest-first. Maintained
-    /// incrementally on allocate/release; borrowed by every `SchedSignals`.
+    /// incrementally on allocate/release; the live region
+    /// `completions[completions_head..]` is borrowed by every
+    /// `SchedSignals`.
     completions: Vec<(SimTime, u32)>,
+    /// Start of the live completion entries. A finishing job is (almost
+    /// always) the profile's earliest finish, so retiring it by advancing
+    /// this head replaces a front `remove` — and its full-tail memmove —
+    /// with a pointer bump; the dead prefix is compacted away once it
+    /// dominates the buffer.
+    completions_head: usize,
     /// The caller's statically-composed probe set; receives every typed
     /// observation point the loop emits (and nothing else — probes are
     /// decision-invisible).
@@ -291,7 +338,7 @@ impl<Q: EventScheduler<Event>, O: RunProbes, P: ReplayProfiler> Engine<'_, Q, O,
             self.weather,
             h,
             &self.forecast_green,
-            &self.completions,
+            &self.completions[self.completions_head..],
             now,
         );
         self.decisions.clear();
@@ -357,7 +404,7 @@ impl<Q: EventScheduler<Event>, O: RunProbes, P: ReplayProfiler> Engine<'_, Q, O,
             self.weather,
             h,
             &self.forecast_green,
-            &self.completions,
+            &self.completions[self.completions_head..],
             now,
         );
         let q = QueuedJob { job, enqueued: now };
@@ -410,67 +457,146 @@ impl<Q: EventScheduler<Event>, O: RunProbes, P: ReplayProfiler> Engine<'_, Q, O,
     /// Allocate and schedule one decided job. Returns false if the cluster
     /// rejects the allocation.
     fn try_start(&mut self, job: &Job, d: Decision, now: SimTime) -> bool {
+        let m = self.prof.mark();
         let util = kind_utilization(job.kind);
-        let cap = self.cluster.spec().gpu.clamp_cap(d.power_cap_w);
+        // One borrow of the GPU model for the whole derivation. Speed and
+        // power are pure functions of `(cap, util)`, so computing them
+        // before the allocation (instead of between allocate and schedule)
+        // yields the same bits; `clamp_cap` is idempotent, so allocate's
+        // internal re-clamp leaves the pre-clamped cap unchanged.
+        let gpu = &self.cluster.spec().gpu;
+        let cap = gpu.clamp_cap(d.power_cap_w);
+        let speed = gpu.speed_at_cap(cap);
+        let gpu_power = gpu.power_at(cap, util).value();
         if self.cluster.allocate(job.id, job.gpus, cap, util).is_err() {
             return false;
         }
-        let speed = self.cluster.spec().gpu.speed_at_cap(cap);
         let duration = job.duration_at_speed(speed);
         let finish = now + duration;
-        let gpu_power = self.cluster.spec().gpu.power_at(cap, util).value();
         let energy = Energy(gpu_power * job.gpus as f64 * duration.secs_f64());
+        self.prof.record_sub(ProfileSubPhase::ApplyAlloc, m);
+        let m = self.prof.mark();
         self.queue.schedule(finish, Event::Completion(job.id));
+        self.prof.record_sub(ProfileSubPhase::ApplySchedule, m);
         // Keep the completion profile sorted: binary-search the insertion
         // point (ties insert after equals, preserving soonest-first order).
-        let pos = self.completions.partition_point(|&(t, _)| t <= finish);
+        let m = self.prof.mark();
+        let head = self.completions_head;
+        let pos = head + self.completions[head..].partition_point(|&(t, _)| t <= finish);
         self.completions.insert(pos, (finish, job.gpus));
+        self.prof.record_sub(ProfileSubPhase::ApplyCompletions, m);
+        let m = self.prof.mark();
         let idx = job.id.0 as usize;
-        debug_assert!(self.running[idx].is_none(), "job started twice");
-        self.running[idx] = Some(Running {
-            finish,
-            record: JobRecord {
-                id: job.id,
-                user: job.user,
-                kind: job.kind,
-                gpus: job.gpus,
-                work_gpu_hours: job.work_gpu_hours,
-                submit: job.submit,
-                start: now,
+        if self.apply_fast {
+            debug_assert!(self.finish_at[idx] == VACANT_FINISH, "job started twice");
+            self.finish_at[idx] = finish;
+            self.cold_start[idx] = now;
+            self.cold_cap_w[idx] = cap;
+            self.cold_energy_j[idx] = energy.value();
+            self.prof.bump(ProfileCounter::FastApplyEvents, 1);
+        } else {
+            debug_assert!(self.running[idx].is_none(), "job started twice");
+            self.running[idx] = Some(Running {
                 finish,
-                power_cap_w: cap,
-                energy,
-            },
-        });
+                record: JobRecord {
+                    id: job.id,
+                    user: job.user,
+                    kind: job.kind,
+                    gpus: job.gpus,
+                    work_gpu_hours: job.work_gpu_hours,
+                    submit: job.submit,
+                    start: now,
+                    finish,
+                    power_cap_w: cap,
+                    energy,
+                },
+            });
+        }
         self.running_count += 1;
+        self.prof.record_sub(ProfileSubPhase::ApplySlab, m);
+        let m = self.prof.mark();
         self.probes.observe(&JobPoint::Started {
             id: job.id,
             time: now,
         });
+        self.prof.record_sub(ProfileSubPhase::ApplyProbes, m);
         true
     }
 
     /// Retire a completed job from the slab and the completion profile.
     /// Returns false for stale completion events.
     fn finish_job(&mut self, id: JobId) -> bool {
-        let Some(run) = self.running[id.0 as usize].take() else {
-            return false;
+        let idx = id.0 as usize;
+        let m = self.prof.mark();
+        let (finish, gpus, record) = if self.apply_fast {
+            let finish = self.finish_at[idx];
+            if finish == VACANT_FINISH {
+                self.prof.record_sub(ProfileSubPhase::ApplySlab, m);
+                return false;
+            }
+            self.finish_at[idx] = VACANT_FINISH;
+            // Reconstruct the record from the trace row plus the cold
+            // columns: the exact f64 values a Reference slab stored at
+            // start, reloaded verbatim, so the record stream is
+            // bit-identical across apply paths.
+            let job = &self.trace[idx];
+            debug_assert_eq!(job.id, id, "trace ids are dense submit-order indices");
+            let record = JobRecord {
+                id,
+                user: job.user,
+                kind: job.kind,
+                gpus: job.gpus,
+                work_gpu_hours: job.work_gpu_hours,
+                submit: job.submit,
+                start: self.cold_start[idx],
+                finish,
+                power_cap_w: self.cold_cap_w[idx],
+                energy: Energy(self.cold_energy_j[idx]),
+            };
+            self.prof.bump(ProfileCounter::FastApplyEvents, 1);
+            (finish, job.gpus, record)
+        } else {
+            let Some(run) = self.running[idx].take() else {
+                self.prof.record_sub(ProfileSubPhase::ApplySlab, m);
+                return false;
+            };
+            let gpus = run.record.gpus;
+            (run.finish, gpus, run.record)
         };
+        self.prof.record_sub(ProfileSubPhase::ApplySlab, m);
         self.running_count -= 1;
+        let m = self.prof.mark();
         self.cluster.release(id);
+        self.prof.record_sub(ProfileSubPhase::ApplyAlloc, m);
         // Remove one matching `(finish, gpus)` entry; among equal finish
         // times any match is equivalent (the profile is a multiset).
-        let t = run.finish;
-        let g = run.record.gpus;
-        let mut k = self.completions.partition_point(|&(ct, _)| ct < t);
-        while k < self.completions.len() && self.completions[k].0 == t {
-            if self.completions[k].1 == g {
-                self.completions.remove(k);
+        let m = self.prof.mark();
+        let head = self.completions_head;
+        let mut k = head + self.completions[head..].partition_point(|&(ct, _)| ct < finish);
+        while k < self.completions.len() && self.completions[k].0 == finish {
+            if self.completions[k].1 == gpus {
+                if k == head {
+                    // Common case: the finishing job holds the earliest
+                    // finish — retire it with a head bump, no memmove.
+                    self.completions_head = head + 1;
+                } else {
+                    self.completions.remove(k);
+                }
                 break;
             }
             k += 1;
         }
-        self.probes.observe(&JobPoint::Finished(run.record));
+        // Compact the dead prefix once it outweighs the live entries, so
+        // the buffer stays bounded by the concurrency level (amortized
+        // O(1) per retirement).
+        if self.completions_head >= 64 && self.completions_head * 2 >= self.completions.len() {
+            self.completions.drain(..self.completions_head);
+            self.completions_head = 0;
+        }
+        self.prof.record_sub(ProfileSubPhase::ApplyCompletions, m);
+        let m = self.prof.mark();
+        self.probes.observe(&JobPoint::Finished(record));
+        self.prof.record_sub(ProfileSubPhase::ApplyProbes, m);
         true
     }
 }
@@ -784,20 +910,42 @@ impl SimDriver {
         // At most `total_gpus` jobs run concurrently (every gang is ≥1 GPU),
         // which bounds the completion profile.
         let max_concurrent = cluster.total_gpus() as usize + 1;
+        // Only the slab variant the apply path uses is materialized.
+        let apply_fast = scenario.apply == ApplyPath::Fast;
         let mut running = Vec::new();
-        running.resize_with(trace.len(), || None);
+        let mut finish_at = Vec::new();
+        let mut cold_start = Vec::new();
+        let mut cold_cap_w = Vec::new();
+        let mut cold_energy_j = Vec::new();
+        if apply_fast {
+            finish_at = vec![VACANT_FINISH; trace.len()];
+            cold_start = vec![SimTime::ZERO; trace.len()];
+            cold_cap_w = vec![0.0; trace.len()];
+            cold_energy_j = vec![0.0; trace.len()];
+        } else {
+            running.resize_with(trace.len(), || None);
+        }
+        let mut policy = scenario.policy.build();
+        policy.set_reject_cache(scenario.backfill == BackfillPath::Cached);
         let mut engine = Engine {
             scenario,
             grid,
             weather,
             hours,
-            policy: scenario.policy.build(),
+            policy,
             cluster,
             queue,
             waiting: WaitQueue::new(),
             running,
+            finish_at,
+            cold_start,
+            cold_cap_w,
+            cold_energy_j,
+            trace,
+            apply_fast,
             running_count: 0,
             completions: Vec::with_capacity(max_concurrent),
+            completions_head: 0,
             probes,
             decisions: Vec::with_capacity(64),
             forecast_green: Vec::with_capacity(FORECAST_HORIZON),
@@ -816,7 +964,12 @@ impl SimDriver {
         let mut last_t = SimTime::ZERO;
         let mut acc_it_j = 0.0f64;
 
-        while let Some((t, ev)) = engine.queue.pop() {
+        while let Some((t, ev)) = {
+            let m = engine.prof.mark();
+            let popped = engine.queue.pop();
+            engine.prof.record_sub(ProfileSubPhase::EventPop, m);
+            popped
+        } {
             engine.prof.bump(ProfileCounter::Events, 1);
             // Integrate IT power since the last event.
             let dt = (t - last_t).secs_f64();
@@ -871,6 +1024,12 @@ impl SimDriver {
                     let cooling_energy = Energy(cooling_j);
                     let facility = it_energy + cooling_energy;
 
+                    // Settlement runs exactly once per hourly tick — the
+                    // hour's energy is already batched by the
+                    // piecewise-constant integration above, so there is one
+                    // strategy call and one purchase point per hour (the
+                    // `tick_settle` sub-phase measures it directly).
+                    let settle_mark = engine.prof.mark();
                     let settle = strategy.settle_hour(facility, grid.green_share[h]);
                     let purchased = settle.purchased;
                     let rec = PurchaseRecord {
@@ -884,6 +1043,9 @@ impl SimDriver {
                         record: rec,
                         settle,
                     });
+                    engine
+                        .prof
+                        .record_sub(ProfileSubPhase::TickSettle, settle_mark);
 
                     // The hourly frame context: plain scalars the loop has
                     // in hand anyway. What gets *retained* about the hour
@@ -922,6 +1084,13 @@ impl SimDriver {
             ProfileCounter::BackfillVisits,
             engine.policy.backfill_visits(),
         );
+        let cache = engine.policy.backfill_cache_stats();
+        engine
+            .prof
+            .bump(ProfileCounter::BackfillCacheHits, cache.hits);
+        engine
+            .prof
+            .bump(ProfileCounter::BackfillVisitsSaved, cache.saved_visits);
 
         // Debug stats: a correct driver never schedules into the past.
         // Debug builds panic inside `schedule` at the offending call site;
@@ -1204,15 +1373,36 @@ mod tests {
                 // must themselves be bit-identical, which the cross-`wg`
                 // golden comparison pins end to end).
                 let world = World::build(&scenario.clone().with_worldgen(wg));
+                // Replay-side knob tuples: all-default (every fast path
+                // on), then each axis flipped to its reference mode
+                // against the same golden constants — a 2×2 per axis
+                // without the exponential cross product.
+                let knobs = [
+                    (DispatchPath::Fast, ApplyPath::Fast, BackfillPath::Cached),
+                    (
+                        DispatchPath::Reference,
+                        ApplyPath::Fast,
+                        BackfillPath::Cached,
+                    ),
+                    (
+                        DispatchPath::Fast,
+                        ApplyPath::Reference,
+                        BackfillPath::Cached,
+                    ),
+                    (DispatchPath::Fast, ApplyPath::Fast, BackfillPath::Reference),
+                ];
                 for core in [SchedulerCore::Calendar, SchedulerCore::Heap] {
-                    for dp in [DispatchPath::Fast, DispatchPath::Reference] {
+                    for (dp, ap, bp) in knobs {
                         let s = scenario
                             .clone()
                             .with_worldgen(wg)
                             .with_scheduler(core)
-                            .with_dispatch(dp);
+                            .with_dispatch(dp)
+                            .with_apply(ap)
+                            .with_backfill(bp);
                         let cell = format!(
-                            "seed {seed}, policy {:?}, core {core:?}, worldgen {wg:?}, dispatch {dp:?}",
+                            "seed {seed}, policy {:?}, core {core:?}, worldgen {wg:?}, \
+                             dispatch {dp:?}, apply {ap:?}, backfill {bp:?}",
                             policies[pi]
                         );
                         let r = SimDriver::run_with_world(&s, &world);
@@ -1336,6 +1526,79 @@ mod tests {
                 &format!("dispatch path (Reference vs Fast) [{}]", scenario.name),
             );
         }
+    }
+
+    /// The struct-of-arrays apply slab must reproduce the reference
+    /// slab's **record stream** — same per-job starts, finishes, caps and
+    /// energies, bit for bit — across the golden matrix (the fast slab
+    /// reconstructs each [`JobRecord`] from the trace row plus its cold
+    /// columns, so this pins that reconstruction end to end).
+    #[test]
+    fn fast_apply_matches_reference_on_golden_matrix() {
+        use crate::equivalence::fingerprint_with_world;
+        for scenario in crate::equivalence::quick_matrix() {
+            let world = World::build(&scenario);
+            let reference = scenario.clone().with_apply(ApplyPath::Reference);
+            let fast = scenario.clone().with_apply(ApplyPath::Fast);
+            fingerprint_with_world(&reference, &world).assert_same(
+                &fingerprint_with_world(&fast, &world),
+                &format!("apply path (Reference vs Fast) [{}]", scenario.name),
+            );
+        }
+    }
+
+    /// The backfill reject memo must be decision-invisible: cached and
+    /// reference replays produce identical record streams across the
+    /// golden matrix *plus* a burst-shaped scenario whose saturated queue
+    /// is exactly where the memo engages.
+    #[test]
+    fn cached_backfill_matches_reference_on_golden_matrix() {
+        use crate::equivalence::fingerprint_with_world;
+        let mut matrix = crate::equivalence::quick_matrix();
+        let mut burst = Scenario::quick(7, 37)
+            .with_policy(PolicyKind::EasyBackfill)
+            .named("burst 7d seed 37");
+        burst.trace.demand.base_rate_per_hour = 10.0;
+        matrix.push(burst);
+        for scenario in matrix {
+            let world = World::build(&scenario);
+            let reference = scenario.clone().with_backfill(BackfillPath::Reference);
+            let cached = scenario.clone().with_backfill(BackfillPath::Cached);
+            fingerprint_with_world(&reference, &world).assert_same(
+                &fingerprint_with_world(&cached, &world),
+                &format!("backfill path (Reference vs Cached) [{}]", scenario.name),
+            );
+        }
+    }
+
+    /// On a saturated replay the reject memo actually engages (hits and
+    /// saved visits are non-zero), reduces the total candidate visits
+    /// versus the reference scan, and the reference mode reports zeroed
+    /// cache counters.
+    #[test]
+    fn reject_cache_engages_on_saturated_replay() {
+        let mut s = Scenario::quick(7, 37).with_policy(PolicyKind::EasyBackfill);
+        s.trace.demand.base_rate_per_hour = 10.0;
+        let world = World::build(&s);
+        let (_, cached) = SimDriver::run_profiled(&s, &world, Observe::aggregates());
+        let (_, reference) = SimDriver::run_profiled(
+            &s.clone().with_backfill(BackfillPath::Reference),
+            &world,
+            Observe::aggregates(),
+        );
+        assert!(cached.counter(ProfileCounter::BackfillCacheHits) > 0);
+        assert!(cached.counter(ProfileCounter::BackfillVisitsSaved) > 0);
+        // Visits count yields, and the exact fit iterator only yields
+        // accepts — which the memo never changes (decisions are pinned
+        // identical by the equivalence axis). The memo's win is the skipped
+        // re-examination work, estimated by BackfillVisitsSaved above.
+        assert_eq!(
+            cached.counter(ProfileCounter::BackfillVisits),
+            reference.counter(ProfileCounter::BackfillVisits),
+            "memoized scans yield the same accepts",
+        );
+        assert_eq!(reference.counter(ProfileCounter::BackfillCacheHits), 0);
+        assert_eq!(reference.counter(ProfileCounter::BackfillVisitsSaved), 0);
     }
 
     /// The full-probe surface and the aggregates-only fast path are the
@@ -1607,9 +1870,25 @@ mod tests {
             ProfilePhase::ALL.iter().map(|&p| profile.phase(p)).sum();
         assert!(phase_sum <= profile.total);
         assert!(profile.phase(ProfilePhase::TickCooling) > std::time::Duration::ZERO);
+        // The fast apply slab handles every start and every completed
+        // job's retirement (the default apply path).
+        assert_eq!(
+            c(ProfileCounter::FastApplyEvents),
+            c(ProfileCounter::Decisions) + plain.jobs.completed as u64,
+            "one fast-apply event per start plus one per finish"
+        );
+        // Sub-phases overlap the top-level phases (they never partition
+        // the total); the ones on every event path must be non-zero.
+        use crate::profile::ProfileSubPhase;
+        assert!(profile.sub(ProfileSubPhase::EventPop) > std::time::Duration::ZERO);
+        assert!(profile.sub(ProfileSubPhase::TickSettle) > std::time::Duration::ZERO);
+        assert!(
+            profile.sub(ProfileSubPhase::TickSettle) <= profile.phase(ProfilePhase::TickCooling)
+        );
+        assert!(profile.sub(ProfileSubPhase::ApplySlab) > std::time::Duration::ZERO);
         // The Reference path must report no fast dispatches.
         let (_, ref_profile) = SimDriver::run_profiled(
-            &s.with_dispatch(DispatchPath::Reference),
+            &s.clone().with_dispatch(DispatchPath::Reference),
             &world,
             Observe::aggregates(),
         );
@@ -1619,6 +1898,13 @@ mod tests {
                 > profile.counter(ProfileCounter::DispatchCalls),
             "reference routes every arrival through the full dispatch"
         );
+        // The Reference apply slab must report no fast-apply events.
+        let (_, ref_apply) = SimDriver::run_profiled(
+            &s.with_apply(ApplyPath::Reference),
+            &world,
+            Observe::aggregates(),
+        );
+        assert_eq!(ref_apply.counter(ProfileCounter::FastApplyEvents), 0);
     }
 
     #[test]
@@ -1786,6 +2072,103 @@ mod tests {
                     reference.aggregates.carbon_kg.to_bits()
                 );
                 prop_assert_eq!(fast.jobs.unfinished, reference.jobs.unfinished);
+            }
+
+            /// `ApplyPath::Fast` (the struct-of-arrays slab) reproduces
+            /// the reference slab's complete per-job record stream and
+            /// aggregate bits for random scenarios over every policy
+            /// family — the record reconstructed from trace row + cold
+            /// columns must be indistinguishable from the one the
+            /// reference slab stored at start time.
+            #[test]
+            fn fast_apply_matches_reference_decision_stream(
+                seed in 0u64..1_000,
+                policy_idx in 0usize..8,
+                days in 3usize..9,
+            ) {
+                let policies = [
+                    PolicyKind::Fcfs,
+                    PolicyKind::Sjf,
+                    PolicyKind::EasyBackfill,
+                    PolicyKind::EasyBackfillLimited { depth: 2 },
+                    PolicyKind::StaticCap { cap_w: 160.0 },
+                    PolicyKind::TempAware,
+                    PolicyKind::CarbonAware { green_threshold: 0.06 },
+                    PolicyKind::CarbonAndTempAware,
+                ];
+                let s = Scenario::quick(days, seed).with_policy(policies[policy_idx]);
+                let world = World::build(&s);
+                let observe = Observe::aggregates().with_job_records();
+                let fast = SimDriver::run_observed(
+                    &s.clone().with_apply(ApplyPath::Fast),
+                    &world,
+                    observe,
+                );
+                let reference = SimDriver::run_observed(
+                    &s.with_apply(ApplyPath::Reference),
+                    &world,
+                    observe,
+                );
+                prop_assert_eq!(
+                    fast.job_records.as_ref().unwrap(),
+                    reference.job_records.as_ref().unwrap()
+                );
+                prop_assert_eq!(
+                    fast.aggregates.energy_kwh.to_bits(),
+                    reference.aggregates.energy_kwh.to_bits()
+                );
+                prop_assert_eq!(
+                    fast.aggregates.carbon_kg.to_bits(),
+                    reference.aggregates.carbon_kg.to_bits()
+                );
+                prop_assert_eq!(fast.jobs.unfinished, reference.jobs.unfinished);
+            }
+
+            /// `BackfillPath::Cached` reproduces the reference full-scan
+            /// record stream on deep saturated queues: random arrival
+            /// rates well past the machine's capacity (the
+            /// `dispatch_burst_7d` shape) over every backfill-scanning
+            /// policy family, including the gated/capped wrappers.
+            #[test]
+            fn cached_backfill_matches_reference_decision_stream(
+                seed in 0u64..1_000,
+                policy_idx in 0usize..4,
+                days in 3usize..7,
+                rate_x10 in 20u64..100,
+            ) {
+                let policies = [
+                    PolicyKind::EasyBackfill,
+                    PolicyKind::StaticCap { cap_w: 160.0 },
+                    PolicyKind::TempAware,
+                    PolicyKind::CarbonAware { green_threshold: 0.06 },
+                ];
+                let mut s = Scenario::quick(days, seed).with_policy(policies[policy_idx]);
+                s.trace.demand.base_rate_per_hour = rate_x10 as f64 / 10.0;
+                let world = World::build(&s);
+                let observe = Observe::aggregates().with_job_records();
+                let cached = SimDriver::run_observed(
+                    &s.clone().with_backfill(BackfillPath::Cached),
+                    &world,
+                    observe,
+                );
+                let reference = SimDriver::run_observed(
+                    &s.with_backfill(BackfillPath::Reference),
+                    &world,
+                    observe,
+                );
+                prop_assert_eq!(
+                    cached.job_records.as_ref().unwrap(),
+                    reference.job_records.as_ref().unwrap()
+                );
+                prop_assert_eq!(
+                    cached.aggregates.energy_kwh.to_bits(),
+                    reference.aggregates.energy_kwh.to_bits()
+                );
+                prop_assert_eq!(
+                    cached.aggregates.carbon_kg.to_bits(),
+                    reference.aggregates.carbon_kg.to_bits()
+                );
+                prop_assert_eq!(cached.jobs.unfinished, reference.jobs.unfinished);
             }
         }
     }

@@ -4,7 +4,9 @@
 //! Every performance knob in this workspace ships with a reference mode
 //! that *is* the semantics — [`SchedulerCore::Heap`] for the event queue,
 //! [`WorldGen::Sequential`] for world generation, the full probe set for
-//! observation, [`DispatchPath::Reference`] for arrival dispatch — and the
+//! observation, [`DispatchPath::Reference`] for arrival dispatch,
+//! [`ApplyPath::Reference`] for decision-apply job state, and
+//! [`BackfillPath::Reference`] for the backfill reject memo — and the
 //! optimized mode must reproduce it exactly. This module is the shared
 //! infrastructure those pins run on, so a future fast path adds one axis
 //! instead of hand-rolling another comparison loop:
@@ -25,7 +27,8 @@
 //!    determinism test pins to captured constants.
 //!
 //! The driver's unit tests route the Heap-vs-Calendar,
-//! Sequential-vs-Parallel, full-vs-aggregates and Fast-vs-Reference axes
+//! Sequential-vs-Parallel, full-vs-aggregates, dispatch, apply and
+//! backfill Fast-vs-Reference axes
 //! through these helpers, and `tests/observe.rs` exercises the harness
 //! from outside the crate. Property tests randomize the matrix;
 //! [`proptest_cases`] lets CI boost their case count via `PROPTEST_CASES`
@@ -34,6 +37,8 @@
 //! [`SchedulerCore::Heap`]: crate::scenario::SchedulerCore::Heap
 //! [`WorldGen::Sequential`]: crate::scenario::WorldGen::Sequential
 //! [`DispatchPath::Reference`]: crate::scenario::DispatchPath::Reference
+//! [`ApplyPath::Reference`]: crate::scenario::ApplyPath::Reference
+//! [`BackfillPath::Reference`]: crate::scenario::BackfillPath::Reference
 
 use greener_sched::PolicyKind;
 

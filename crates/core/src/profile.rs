@@ -26,6 +26,26 @@
 //! Everything not covered (event-queue pops, queue pushes, IT-power
 //! integration) shows up as [`ReplayProfile::unattributed`].
 //!
+//! # Sub-phases
+//!
+//! The four top-level phases answer *which section* of the loop is hot;
+//! [`ProfileSubPhase`] answers *what inside it*. Sub-phases time the
+//! individual operations of job start/finish bookkeeping (cluster
+//! allocate/release, slab insert/remove, completion-profile maintenance,
+//! probe emission, event-queue push/pop) and the tick's settlement slice.
+//! They deliberately do **not** nest cleanly inside the top-level split:
+//! `ApplyAlloc`/`ApplySlab`/`ApplyCompletions`/`ApplyProbes`/
+//! `ApplySchedule` accumulate both from `try_start` (inside
+//! `DecisionApply`) and from `finish_job` (previously all unattributed),
+//! `EventPop` attributes the loop-head pop (unattributed), and
+//! `TickSettle` is a slice of `TickCooling`. So `Σ sub-phases` overlaps
+//! the phase totals rather than partitioning them, and
+//! [`ReplayProfile::unattributed`] keeps its meaning (total − top-level
+//! phases). Sub-phase windows are short (tens of ns), so the two clock
+//! reads per window dominate the measured value more than for the
+//! top-level phases — read sub-phase numbers as *relative shares* of
+//! their parent, not absolute costs.
+//!
 //! `perfjson --profile` (in `greener-bench`) runs the canonical scenarios
 //! through this mode and records the phase split in `BENCH_engine.json`.
 //!
@@ -78,6 +98,67 @@ impl ProfilePhase {
     }
 }
 
+/// A timed sub-operation of the replay loop (see the module docs:
+/// sub-phases overlap the top-level phases instead of partitioning them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileSubPhase {
+    /// Event-queue pop at the loop head (top-level: unattributed).
+    EventPop,
+    /// `Cluster::allocate`/`release` plus the cap/speed/energy math around
+    /// them (top-level: `DecisionApply` for starts, unattributed for
+    /// finishes).
+    ApplyAlloc,
+    /// Running-job slab insert (start) / remove (finish).
+    ApplySlab,
+    /// Completion-profile (`running_completions`) sorted insert/remove.
+    ApplyCompletions,
+    /// Job-point probe emission (`Submitted`/`Started`/`Finished`).
+    ApplyProbes,
+    /// Event-queue `schedule` push of the completion event.
+    ApplySchedule,
+    /// The tick's settlement slice: `settle_hour` + purchase-point probe
+    /// emission (top-level: inside `TickCooling`).
+    TickSettle,
+}
+
+impl ProfileSubPhase {
+    /// Every sub-phase, in display order.
+    pub const ALL: [ProfileSubPhase; 7] = [
+        ProfileSubPhase::EventPop,
+        ProfileSubPhase::ApplyAlloc,
+        ProfileSubPhase::ApplySlab,
+        ProfileSubPhase::ApplyCompletions,
+        ProfileSubPhase::ApplyProbes,
+        ProfileSubPhase::ApplySchedule,
+        ProfileSubPhase::TickSettle,
+    ];
+
+    /// Stable snake_case name (used as the JSON key in `BENCH_engine.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfileSubPhase::EventPop => "event_pop",
+            ProfileSubPhase::ApplyAlloc => "apply_alloc",
+            ProfileSubPhase::ApplySlab => "apply_slab",
+            ProfileSubPhase::ApplyCompletions => "apply_completions",
+            ProfileSubPhase::ApplyProbes => "apply_probes",
+            ProfileSubPhase::ApplySchedule => "apply_schedule",
+            ProfileSubPhase::TickSettle => "tick_settle",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ProfileSubPhase::EventPop => 0,
+            ProfileSubPhase::ApplyAlloc => 1,
+            ProfileSubPhase::ApplySlab => 2,
+            ProfileSubPhase::ApplyCompletions => 3,
+            ProfileSubPhase::ApplyProbes => 4,
+            ProfileSubPhase::ApplySchedule => 5,
+            ProfileSubPhase::TickSettle => 6,
+        }
+    }
+}
+
 /// A counted quantity of the replay loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProfileCounter {
@@ -99,11 +180,21 @@ pub enum ProfileCounter {
     /// Backfill candidates examined by the policy (from
     /// `SchedPolicy::backfill_visits`, read once at the end of the run).
     BackfillVisits,
+    /// Job starts/finishes handled by the `ApplyPath::Fast` SoA slab
+    /// (0 under `ApplyPath::Reference`).
+    FastApplyEvents,
+    /// Backfill scans resumed from the policy's reject memo (from
+    /// `SchedPolicy::backfill_cache_stats`, read once at the end).
+    BackfillCacheHits,
+    /// Estimated candidate visits skipped thanks to the reject memo (a
+    /// lower bound: each hit is credited with the recording scan's visit
+    /// count; also from `SchedPolicy::backfill_cache_stats`).
+    BackfillVisitsSaved,
 }
 
 impl ProfileCounter {
     /// Every counter, in display order.
-    pub const ALL: [ProfileCounter; 8] = [
+    pub const ALL: [ProfileCounter; 11] = [
         ProfileCounter::Events,
         ProfileCounter::Arrivals,
         ProfileCounter::Completions,
@@ -112,6 +203,9 @@ impl ProfileCounter {
         ProfileCounter::FastDispatches,
         ProfileCounter::Decisions,
         ProfileCounter::BackfillVisits,
+        ProfileCounter::FastApplyEvents,
+        ProfileCounter::BackfillCacheHits,
+        ProfileCounter::BackfillVisitsSaved,
     ];
 
     /// Stable snake_case name (used as the JSON key in `BENCH_engine.json`).
@@ -125,6 +219,9 @@ impl ProfileCounter {
             ProfileCounter::FastDispatches => "fast_dispatches",
             ProfileCounter::Decisions => "decisions",
             ProfileCounter::BackfillVisits => "backfill_visits",
+            ProfileCounter::FastApplyEvents => "fast_apply_events",
+            ProfileCounter::BackfillCacheHits => "backfill_cache_hits",
+            ProfileCounter::BackfillVisitsSaved => "backfill_visits_saved",
         }
     }
 
@@ -138,6 +235,9 @@ impl ProfileCounter {
             ProfileCounter::FastDispatches => 5,
             ProfileCounter::Decisions => 6,
             ProfileCounter::BackfillVisits => 7,
+            ProfileCounter::FastApplyEvents => 8,
+            ProfileCounter::BackfillCacheHits => 9,
+            ProfileCounter::BackfillVisitsSaved => 10,
         }
     }
 }
@@ -157,6 +257,14 @@ pub trait ReplayProfiler {
 
     /// Attribute the time since `mark` to `phase`.
     fn record(&mut self, phase: ProfilePhase, mark: Self::Mark);
+
+    /// Attribute the time since `mark` to a sub-phase. Defaults to a no-op
+    /// so sub-phase instrumentation costs nothing unless a profiler opts
+    /// in.
+    #[inline(always)]
+    fn record_sub(&mut self, sub: ProfileSubPhase, mark: Self::Mark) {
+        let _ = (sub, mark);
+    }
 
     /// Add `by` to a counter.
     fn bump(&mut self, counter: ProfileCounter, by: u64);
@@ -186,6 +294,7 @@ impl ReplayProfiler for NoProfiler {
 pub struct WallProfiler {
     started: Instant,
     phases: [Duration; ProfilePhase::ALL.len()],
+    subs: [Duration; ProfileSubPhase::ALL.len()],
     counters: [u64; ProfileCounter::ALL.len()],
 }
 
@@ -195,6 +304,7 @@ impl WallProfiler {
         WallProfiler {
             started: Instant::now(),
             phases: [Duration::ZERO; ProfilePhase::ALL.len()],
+            subs: [Duration::ZERO; ProfileSubPhase::ALL.len()],
             counters: [0; ProfileCounter::ALL.len()],
         }
     }
@@ -204,6 +314,7 @@ impl WallProfiler {
         ReplayProfile {
             total: self.started.elapsed(),
             phases: self.phases,
+            subs: self.subs,
             counters: self.counters,
         }
     }
@@ -229,6 +340,11 @@ impl ReplayProfiler for WallProfiler {
     }
 
     #[inline]
+    fn record_sub(&mut self, sub: ProfileSubPhase, mark: Instant) {
+        self.subs[sub.index()] += mark.elapsed();
+    }
+
+    #[inline]
     fn bump(&mut self, counter: ProfileCounter, by: u64) {
         self.counters[counter.index()] += by;
     }
@@ -240,6 +356,7 @@ pub struct ReplayProfile {
     /// Wall time of the whole replay (including instrumentation overhead).
     pub total: Duration,
     phases: [Duration; ProfilePhase::ALL.len()],
+    subs: [Duration; ProfileSubPhase::ALL.len()],
     counters: [u64; ProfileCounter::ALL.len()],
 }
 
@@ -247,6 +364,12 @@ impl ReplayProfile {
     /// Time attributed to a phase.
     pub fn phase(&self, phase: ProfilePhase) -> Duration {
         self.phases[phase.index()]
+    }
+
+    /// Time attributed to a sub-phase (overlaps the phase totals — see the
+    /// module docs).
+    pub fn sub(&self, sub: ProfileSubPhase) -> Duration {
+        self.subs[sub.index()]
     }
 
     /// A counter's value.
@@ -276,7 +399,8 @@ impl ReplayProfile {
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
         format!(
             "total {:.2} ms ({:.0} ns/event over {} events): {} + unattributed {:.2} ms; \
-             arrivals {} (fast {}), dispatch calls {}, decisions {}, backfill visits {}",
+             subs {}; arrivals {} (fast {}), dispatch calls {}, decisions {}, \
+             backfill visits {} (cache hits {}, saved ~{}), fast-apply events {}",
             ms(self.total),
             self.ns_per_event(),
             self.counter(ProfileCounter::Events),
@@ -286,11 +410,19 @@ impl ReplayProfile {
                 .collect::<Vec<_>>()
                 .join(" + "),
             ms(self.unattributed()),
+            ProfileSubPhase::ALL
+                .iter()
+                .map(|&s| format!("{} {:.2} ms", s.name(), ms(self.sub(s))))
+                .collect::<Vec<_>>()
+                .join(" / "),
             self.counter(ProfileCounter::Arrivals),
             self.counter(ProfileCounter::FastDispatches),
             self.counter(ProfileCounter::DispatchCalls),
             self.counter(ProfileCounter::Decisions),
             self.counter(ProfileCounter::BackfillVisits),
+            self.counter(ProfileCounter::BackfillCacheHits),
+            self.counter(ProfileCounter::BackfillVisitsSaved),
+            self.counter(ProfileCounter::FastApplyEvents),
         )
     }
 }
@@ -315,6 +447,19 @@ mod tests {
         for (i, c) in ProfileCounter::ALL.iter().enumerate() {
             assert_eq!(c.index(), i);
         }
+        let mut sub_names: Vec<&str> = ProfileSubPhase::ALL.iter().map(|s| s.name()).collect();
+        sub_names.sort_unstable();
+        sub_names.dedup();
+        assert_eq!(sub_names.len(), ProfileSubPhase::ALL.len());
+        for (i, s) in ProfileSubPhase::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        // Sub-phase names must not collide with phase or counter keys: all
+        // three families land as `*_ns`/plain keys in the same JSON object.
+        for s in ProfileSubPhase::ALL {
+            assert!(!phase_names.contains(&s.name()));
+            assert!(!counter_names.contains(&s.name()));
+        }
     }
 
     #[test]
@@ -323,10 +468,13 @@ mod tests {
         let m = p.mark();
         std::thread::sleep(Duration::from_millis(2));
         p.record(ProfilePhase::TickCooling, m);
+        p.record_sub(ProfileSubPhase::TickSettle, m);
         p.bump(ProfileCounter::Events, 3);
         p.bump(ProfileCounter::Events, 2);
         let profile = p.finish();
         assert!(profile.phase(ProfilePhase::TickCooling) >= Duration::from_millis(2));
+        assert!(profile.sub(ProfileSubPhase::TickSettle) >= Duration::from_millis(2));
+        assert_eq!(profile.sub(ProfileSubPhase::EventPop), Duration::ZERO);
         assert_eq!(profile.phase(ProfilePhase::SignalBuild), Duration::ZERO);
         assert_eq!(profile.counter(ProfileCounter::Events), 5);
         assert!(profile.total >= profile.phase(ProfilePhase::TickCooling));

@@ -88,6 +88,62 @@ pub enum DispatchPath {
     Reference,
 }
 
+/// How the driver keeps per-running-job state while applying decisions.
+///
+/// Profiling (PR 5's `decision_apply` phase plus this PR's sub-phase
+/// split) showed job start/finish bookkeeping paying for an
+/// array-of-structs slab: every start assembles a full job record (id,
+/// user, kind, sizes, times, energy) just to park it next to the finish
+/// time, and every finish drags the whole record back out. `Fast` splits
+/// the slab struct-of-arrays — a hot finish-time array (the only field the
+/// loop reads per event) plus cold parallel arrays for the run-dependent
+/// record fields — and reconstructs the [`JobRecord`] once, at completion,
+/// from the immutable trace plus the cold arrays.
+///
+/// Like [`SchedulerCore`], [`WorldGen`] and [`DispatchPath`] this is
+/// purely a performance knob: the exact same f64 values are computed once
+/// at start and stored/reloaded verbatim, so the reconstructed record is
+/// bit-identical and the decision stream unchanged. `Reference` keeps the
+/// original slab and is what golden tests compare against (a fifth
+/// equivalence axis in `core::equivalence`).
+///
+/// [`JobRecord`]: crate::driver::JobRecord
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApplyPath {
+    /// Struct-of-arrays running-job state — the default.
+    Fast,
+    /// Array-of-structs slab storing full job records — the reference
+    /// implementation golden tests compare against.
+    Reference,
+}
+
+/// Whether backfill scans may reuse reject verdicts across dispatches.
+///
+/// On saturated queues most dispatches rescan the same candidates against
+/// the same budgets and reject them all again. `Cached` lets
+/// [`EasyBackfillPolicy`] memoize an all-reject scan keyed by the exact
+/// scan inputs (blocked head, free GPUs, absolute shadow time, spare
+/// budget) plus the queue's clear-epoch, so the next dispatch under the
+/// same key skips straight past every already-proven reject to candidates
+/// that arrived since (see `sched::waitq` module docs for the
+/// invalidation rule and the decision-invisibility argument).
+///
+/// Purely a performance knob with the same bar as every other axis: a
+/// skipped candidate must be a *provable* reject, so the accept sequence —
+/// and therefore the decision stream — is bit-identical. `Reference`
+/// disables the memo and rescans from scratch; golden tests compare the
+/// two (a sixth equivalence axis).
+///
+/// [`EasyBackfillPolicy`]: greener_sched::EasyBackfillPolicy
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackfillPath {
+    /// Memoize all-reject scans and resume past them — the default.
+    Cached,
+    /// Rescan every candidate on every dispatch — the reference
+    /// implementation golden tests compare against.
+    Reference,
+}
+
 /// How the carbon-aware scheduler obtains its green-share forecast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ForecastMode {
@@ -148,6 +204,12 @@ pub struct Scenario {
     /// Arrival-dispatch path (performance knob; decision streams are
     /// identical across paths).
     pub dispatch: DispatchPath,
+    /// Running-job state layout in the apply path (performance knob;
+    /// decision streams are identical across layouts).
+    pub apply: ApplyPath,
+    /// Backfill reject-memo toggle (performance knob; decision streams are
+    /// identical across modes).
+    pub backfill: BackfillPath,
 }
 
 impl Scenario {
@@ -173,6 +235,8 @@ impl Scenario {
             scheduler: SchedulerCore::Calendar,
             worldgen: WorldGen::Parallel,
             dispatch: DispatchPath::Fast,
+            apply: ApplyPath::Fast,
+            backfill: BackfillPath::Cached,
         }
     }
 
@@ -269,6 +333,20 @@ impl Scenario {
         self
     }
 
+    /// Builder-style: replace the running-job state layout.
+    #[must_use]
+    pub fn with_apply(mut self, apply: ApplyPath) -> Scenario {
+        self.apply = apply;
+        self
+    }
+
+    /// Builder-style: replace the backfill reject-memo mode.
+    #[must_use]
+    pub fn with_backfill(mut self, backfill: BackfillPath) -> Scenario {
+        self.backfill = backfill;
+        self
+    }
+
     /// Builder-style: replace the forecast source carbon-aware policies
     /// see.
     #[must_use]
@@ -328,6 +406,9 @@ mod tests {
         assert_eq!(s.start, CalDate::new(2020, 1, 1));
         assert_eq!(s.horizon_hours, 731 * 24); // 366 + 365 days
         assert_eq!(s.policy, PolicyKind::EasyBackfill);
+        // Fast paths are the defaults; reference modes are opt-in.
+        assert_eq!(s.apply, ApplyPath::Fast);
+        assert_eq!(s.backfill, BackfillPath::Cached);
     }
 
     #[test]
@@ -349,9 +430,13 @@ mod tests {
             .with_deadline_policy(DeadlinePolicy::Rolling)
             .with_horizon_days(5)
             .with_cooling(CoolingModel::default())
-            .with_dispatch(DispatchPath::Reference);
+            .with_dispatch(DispatchPath::Reference)
+            .with_apply(ApplyPath::Reference)
+            .with_backfill(BackfillPath::Reference);
         assert_eq!(s.policy, PolicyKind::Fcfs);
         assert_eq!(s.dispatch, DispatchPath::Reference);
+        assert_eq!(s.apply, ApplyPath::Reference);
+        assert_eq!(s.backfill, BackfillPath::Reference);
         assert_eq!(s.seed, 77);
         assert_eq!(s.name, "custom");
         assert!(!matches!(s.strategy, PurchaseStrategy::None));

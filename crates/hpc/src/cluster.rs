@@ -8,7 +8,6 @@
 use greener_simkit::units::Power;
 use greener_workload::JobId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 use crate::gpu::GpuModel;
 
@@ -68,6 +67,19 @@ impl Allocation {
     }
 }
 
+/// One slab slot: the allocation plus its cached power contribution.
+///
+/// `power_w` is this gang's term of the incremental `alloc_power_w` sum,
+/// computed once at allocate/recap time. `power_at` is a pure function of
+/// `(cap, utilization)`, so reusing the cached value at release subtracts
+/// the exact bits a recomputation would — it just skips the curve
+/// interpolation on the hot path.
+#[derive(Debug, Clone)]
+struct Slot {
+    alloc: Allocation,
+    power_w: f64,
+}
+
 /// Allocation failure reasons.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AllocError {
@@ -97,12 +109,30 @@ pub enum AllocError {
 pub struct Cluster {
     spec: ClusterSpec,
     free_per_node: Vec<u32>,
-    allocations: HashMap<JobId, Allocation>,
+    /// Dense allocation slab indexed by `JobId` (the workspace's job ids
+    /// are dense trace indices, so a direct-index slot beats any hash
+    /// lookup on the start/finish hot path).
+    allocations: Vec<Option<Slot>>,
+    /// Live jobs in the slab (maintained; the slab itself keeps vacant
+    /// slots around).
+    active_jobs: usize,
     free_total: u32,
     /// Σ over allocations of `gpus × power_at(cap, util)`, watts.
     alloc_power_w: f64,
     /// Nodes hosting ≥ 1 allocated GPU.
     active_nodes: u32,
+    /// Free-level index: `level_nodes[f-1]` holds the nodes with exactly
+    /// `f` free GPUs, each list sorted by node index and maintained
+    /// incrementally on allocate/release. Walking levels ascending, nodes
+    /// ascending within each, reproduces the comparison sort by
+    /// `(free, n)` the packing is specified as — without rescanning every
+    /// node per `allocate` (the driver allocates on every job start, so
+    /// this is hot; a property test pins the walk against the sorted
+    /// reference).
+    level_nodes: Vec<Vec<u32>>,
+    /// Recycled `pieces` buffers: `release` returns each allocation's
+    /// piece list here so the next `allocate` starts from a warm buffer.
+    pieces_pool: Vec<Vec<(u32, u32)>>,
 }
 
 impl Cluster {
@@ -110,13 +140,21 @@ impl Cluster {
     pub fn new(spec: ClusterSpec) -> Cluster {
         let free_per_node = vec![spec.gpus_per_node; spec.nodes as usize];
         let free_total = spec.total_gpus();
+        let mut level_nodes = vec![Vec::new(); spec.gpus_per_node as usize];
+        if spec.gpus_per_node > 0 {
+            // Every node starts fully free.
+            level_nodes[spec.gpus_per_node as usize - 1] = (0..spec.nodes).collect();
+        }
         Cluster {
             spec,
             free_per_node,
-            allocations: HashMap::new(),
+            allocations: Vec::new(),
+            active_jobs: 0,
             free_total,
             alloc_power_w: 0.0,
             active_nodes: 0,
+            level_nodes,
+            pieces_pool: Vec::new(),
         }
     }
 
@@ -128,6 +166,32 @@ impl Cluster {
                 .gpu
                 .power_at(alloc.power_cap_w, alloc.utilization)
                 .value()
+    }
+
+    /// Move node `n` from free level `from` to free level `to` (0 = not
+    /// listed). Lists stay sorted by node index via binary search.
+    #[inline]
+    fn relevel(&mut self, n: u32, from: u32, to: u32) {
+        if from > 0 {
+            let list = &mut self.level_nodes[from as usize - 1];
+            let i = list.binary_search(&n).expect("level index holds the node");
+            list.remove(i);
+        }
+        if to > 0 {
+            let list = &mut self.level_nodes[to as usize - 1];
+            let i = list
+                .binary_search(&n)
+                .expect_err("node already at target level");
+            list.insert(i, n);
+        }
+    }
+
+    /// The slab slot for `job`, if live.
+    #[inline]
+    fn slot(&self, job: JobId) -> Option<&Slot> {
+        self.allocations
+            .get(job.0 as usize)
+            .and_then(Option::as_ref)
     }
 
     /// The static spec.
@@ -162,12 +226,12 @@ impl Cluster {
 
     /// Number of active jobs.
     pub fn active_jobs(&self) -> usize {
-        self.allocations.len()
+        self.active_jobs
     }
 
     /// Look up a job's allocation.
     pub fn allocation(&self, job: JobId) -> Option<&Allocation> {
-        self.allocations.get(&job)
+        self.slot(job).map(|s| &s.alloc)
     }
 
     /// Allocate a gang, packing into the fullest partially-free nodes first
@@ -183,39 +247,44 @@ impl Cluster {
         if gpus == 0 {
             return Err(AllocError::EmptyRequest);
         }
-        if self.allocations.contains_key(&job) {
+        if self.slot(job).is_some() {
             return Err(AllocError::DuplicateJob);
         }
         if gpus > self.free_total {
             return Err(AllocError::InsufficientGpus);
         }
-        // Candidate nodes: free > 0, sorted by (busy-ness desc, index asc)
-        // so we fill partially-used nodes before waking idle ones.
-        let mut candidates: Vec<u32> = (0..self.spec.nodes)
-            .filter(|&n| self.free_per_node[n as usize] > 0)
-            .collect();
-        candidates.sort_by_key(|&n| {
-            let free = self.free_per_node[n as usize];
-            (free, n) // fewer free GPUs first = busier first
-        });
+        // Plan over the free-level index: ascending level, ascending node
+        // within each list — exactly the `(free, n)` comparison-sort order
+        // over candidate nodes (free > 0), so we fill partially-used nodes
+        // before waking idle ones. The plan walk never mutates the index,
+        // so it sees the same pre-allocation snapshot a rebuilt candidate
+        // list would.
         let mut remaining = gpus;
-        let mut pieces = Vec::new();
-        for n in candidates {
-            if remaining == 0 {
-                break;
-            }
-            let free = self.free_per_node[n as usize];
-            let take = remaining.min(free);
-            if take > 0 {
-                if free == self.spec.gpus_per_node {
-                    self.active_nodes += 1; // idle node wakes up
-                }
-                self.free_per_node[n as usize] -= take;
+        let mut pieces = self.pieces_pool.pop().unwrap_or_default();
+        debug_assert!(pieces.is_empty(), "pooled piece buffers come back clean");
+        'fill: for (level, nodes) in self.level_nodes.iter().enumerate() {
+            let free = level as u32 + 1;
+            for &n in nodes {
+                debug_assert_eq!(self.free_per_node[n as usize], free);
+                let take = remaining.min(free);
                 pieces.push((n, take));
                 remaining -= take;
+                if remaining == 0 {
+                    break 'fill;
+                }
             }
         }
         debug_assert_eq!(remaining, 0, "free_total said it fits");
+        // Apply: update free counts and re-level the touched nodes (each
+        // node appears in at most one piece).
+        for &(n, take) in &pieces {
+            let free = self.free_per_node[n as usize];
+            if free == self.spec.gpus_per_node {
+                self.active_nodes += 1; // idle node wakes up
+            }
+            self.free_per_node[n as usize] = free - take;
+            self.relevel(n, free, free - take);
+        }
         self.free_total -= gpus;
         let cap = self.spec.gpu.clamp_cap(power_cap_w);
         let alloc = Allocation {
@@ -223,45 +292,70 @@ impl Cluster {
             power_cap_w: cap,
             utilization: utilization.clamp(0.0, 1.0),
         };
-        self.alloc_power_w += self.gang_power_w(&alloc);
-        self.allocations.insert(job, alloc);
+        let power_w = self.gang_power_w(&alloc);
+        self.alloc_power_w += power_w;
+        let idx = job.0 as usize;
+        if self.allocations.len() <= idx {
+            self.allocations.resize_with(idx + 1, || None);
+        }
+        self.allocations[idx] = Some(Slot { alloc, power_w });
+        self.active_jobs += 1;
         Ok(())
     }
 
     /// Release a job's gang. Returns false if the job held nothing.
     pub fn release(&mut self, job: JobId) -> bool {
-        let Some(alloc) = self.allocations.remove(&job) else {
+        let Some(Slot { alloc, power_w }) = self
+            .allocations
+            .get_mut(job.0 as usize)
+            .and_then(Option::take)
+        else {
             return false;
         };
-        for (n, g) in &alloc.pieces {
-            self.free_per_node[*n as usize] += g;
-            debug_assert!(self.free_per_node[*n as usize] <= self.spec.gpus_per_node);
-            if self.free_per_node[*n as usize] == self.spec.gpus_per_node {
+        for &(n, g) in &alloc.pieces {
+            let free = self.free_per_node[n as usize];
+            let now_free = free + g;
+            debug_assert!(now_free <= self.spec.gpus_per_node);
+            self.free_per_node[n as usize] = now_free;
+            if now_free == self.spec.gpus_per_node {
                 self.active_nodes -= 1; // node fully drained
             }
+            self.relevel(n, free, now_free);
         }
         self.free_total += alloc.gpus();
-        if self.allocations.is_empty() {
+        self.active_jobs -= 1;
+        if self.active_jobs == 0 {
             // Drained cluster: snap the running sum back to exactly zero so
             // add/subtract cancellation error cannot accumulate across
             // busy periods.
             self.alloc_power_w = 0.0;
         } else {
-            self.alloc_power_w -= self.gang_power_w(&alloc);
+            // The cached term is bit-identical to recomputing
+            // `gang_power_w` (pure function of the stored cap/util).
+            self.alloc_power_w -= power_w;
         }
+        // Recycle the piece buffer for the next allocate.
+        let mut pieces = alloc.pieces;
+        pieces.clear();
+        self.pieces_pool.push(pieces);
         true
     }
 
     /// Change the power cap of a running job (DVFS-style adjustment).
     pub fn recap(&mut self, job: JobId, power_cap_w: f64) -> bool {
         let cap = self.spec.gpu.clamp_cap(power_cap_w);
-        let Some(mut a) = self.allocations.remove(&job) else {
+        let Some(mut slot) = self
+            .allocations
+            .get_mut(job.0 as usize)
+            .and_then(Option::take)
+        else {
             return false;
         };
-        self.alloc_power_w -= self.gang_power_w(&a);
-        a.power_cap_w = cap;
-        self.alloc_power_w += self.gang_power_w(&a);
-        self.allocations.insert(job, a);
+        self.alloc_power_w -= slot.power_w;
+        slot.alloc.power_cap_w = cap;
+        slot.power_w = self.gang_power_w(&slot.alloc);
+        self.alloc_power_w += slot.power_w;
+        self.allocations[job.0 as usize] = Some(slot);
         true
     }
 
@@ -294,7 +388,49 @@ impl Cluster {
 
     /// Verify internal consistency (used by property tests).
     pub fn check_invariants(&self) -> Result<(), String> {
-        let alloc_sum: u32 = self.allocations.values().map(|a| a.gpus()).sum();
+        let live = self.allocations.iter().flatten().count();
+        if live != self.active_jobs {
+            return Err(format!(
+                "active-job count drifted: cached {} vs scan {live}",
+                self.active_jobs
+            ));
+        }
+        for slot in self.allocations.iter().flatten() {
+            if slot.power_w.to_bits() != self.gang_power_w(&slot.alloc).to_bits() {
+                return Err(format!(
+                    "cached gang power {} diverged from recomputation {}",
+                    slot.power_w,
+                    self.gang_power_w(&slot.alloc)
+                ));
+            }
+        }
+        for (level, nodes) in self.level_nodes.iter().enumerate() {
+            let free = level as u32 + 1;
+            if !nodes.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("level {free} list not sorted/unique: {nodes:?}"));
+            }
+            for &n in nodes {
+                if self.free_per_node[n as usize] != free {
+                    return Err(format!(
+                        "node {n} listed at free level {free} but has {} free",
+                        self.free_per_node[n as usize]
+                    ));
+                }
+            }
+        }
+        let listed: usize = self.level_nodes.iter().map(Vec::len).sum();
+        let candidates = self.free_per_node.iter().filter(|&&f| f > 0).count();
+        if listed != candidates {
+            return Err(format!(
+                "level index lists {listed} nodes but {candidates} have free GPUs"
+            ));
+        }
+        let alloc_sum: u32 = self
+            .allocations
+            .iter()
+            .flatten()
+            .map(|s| s.alloc.gpus())
+            .sum();
         let free_sum: u32 = self.free_per_node.iter().sum();
         if free_sum != self.free_total {
             return Err(format!("free mismatch: {free_sum} vs {}", self.free_total));
@@ -323,8 +459,9 @@ impl Cluster {
         }
         let power_scan: f64 = self
             .allocations
-            .values()
-            .map(|a| self.gang_power_w(a))
+            .iter()
+            .flatten()
+            .map(|s| self.gang_power_w(&s.alloc))
             .sum();
         // The incremental sum may differ from a fresh re-sum in the low
         // bits (different operation order); anything beyond tiny relative
@@ -462,6 +599,51 @@ mod tests {
                     }
                     prop_assert!(c.check_invariants().is_ok(), "{:?}", c.check_invariants());
                 }
+            }
+
+            /// The bucketed candidate walk in `allocate` packs exactly like
+            /// the comparison sort by `(free, n)` it replaced: after random
+            /// churn puts nodes in mixed fill states, one more allocation's
+            /// pieces match the reference packing computed from the sorted
+            /// candidate list.
+            #[test]
+            fn packing_matches_comparison_sort_reference(
+                ops in prop::collection::vec((0u8..2, 1u64..30, 1u32..12), 0..60),
+                gpus in 1u32..13,
+            ) {
+                let mut c = Cluster::new(ClusterSpec {
+                    nodes: 8,
+                    gpus_per_node: 4,
+                    ..ClusterSpec::default()
+                });
+                for (op, id, g) in ops {
+                    match op {
+                        0 => { let _ = c.allocate(JobId(id), g, 200.0, 0.9); }
+                        _ => { c.release(JobId(id)); }
+                    }
+                }
+                let gpus = gpus.min(c.free_gpus());
+                if gpus == 0 {
+                    return Ok(());
+                }
+                let mut cands: Vec<u32> = (0..c.spec.nodes)
+                    .filter(|&n| c.free_per_node[n as usize] > 0)
+                    .collect();
+                cands.sort_by_key(|&n| (c.free_per_node[n as usize], n));
+                let mut remaining = gpus;
+                let mut expected = Vec::new();
+                for n in cands {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let take = remaining.min(c.free_per_node[n as usize]);
+                    if take > 0 {
+                        expected.push((n, take));
+                        remaining -= take;
+                    }
+                }
+                c.allocate(JobId(999), gpus, 200.0, 0.9).unwrap();
+                prop_assert_eq!(&c.allocation(JobId(999)).unwrap().pieces, &expected);
             }
 
             /// IT power is monotone in allocated load and always at least the

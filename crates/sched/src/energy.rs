@@ -8,7 +8,9 @@
 
 use greener_hpc::Cluster;
 
-use crate::policy::{Decision, LoneDispatch, QueuedJob, SchedPolicy, SchedSignals};
+use crate::policy::{
+    BackfillCacheStats, Decision, LoneDispatch, QueuedJob, SchedPolicy, SchedSignals,
+};
 use crate::waitq::WaitQueue;
 
 /// Wrap a base policy and override every decision's cap with a fixed value.
@@ -67,6 +69,14 @@ impl SchedPolicy for PowerCapPolicy {
 
     fn backfill_visits(&self) -> u64 {
         self.base.backfill_visits()
+    }
+
+    fn set_reject_cache(&mut self, enabled: bool) {
+        self.base.set_reject_cache(enabled);
+    }
+
+    fn backfill_cache_stats(&self) -> BackfillCacheStats {
+        self.base.backfill_cache_stats()
     }
 }
 
@@ -144,6 +154,14 @@ impl SchedPolicy for TempAwarePolicy {
 
     fn backfill_visits(&self) -> u64 {
         self.base.backfill_visits()
+    }
+
+    fn set_reject_cache(&mut self, enabled: bool) {
+        self.base.set_reject_cache(enabled);
+    }
+
+    fn backfill_cache_stats(&self) -> BackfillCacheStats {
+        self.base.backfill_cache_stats()
     }
 }
 

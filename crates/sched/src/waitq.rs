@@ -21,14 +21,26 @@
 //!   every member would fail both accept conditions, so skipping them is
 //!   decision-invisible;
 //! * the single *boundary* class straddling the shadow window is examined
-//!   item-by-item (its members need the exact duration test).
+//!   item-by-item (its members need the exact duration test): the class
+//!   lists store each entry's exact duration, so in the default **exact**
+//!   mode ([`WaitQueue::backfill_candidates`]) the iterator applies that
+//!   test itself and skips the provable rejects without yielding them —
+//!   every candidate yielded is an accept. Visit-budgeted scans
+//!   (`BackfillLimit::Depth`) use the **visiting** mode
+//!   ([`WaitQueue::backfill_candidates_visiting`]), which still yields
+//!   boundary rejects because the depth budget is defined over *visited*
+//!   candidates; filtering them would change which candidates the budget
+//!   covers, i.e. the decisions.
 //!
 //! Rejected candidates never mutate scheduler state, so pruning provable
 //! rejects class-wise yields exactly the accepts of the classic full scan,
 //! in exactly the same order — the driver's golden determinism test pins
 //! this bit-for-bit, while visits collapse from *O(queue depth)* to
-//! *O(accepts + boundary items)* per dispatch (~13 M → ~60 K visits on the
-//! saturated 90-day benchmark).
+//! *O(accepts)* per exhaustive dispatch (~13 M → ~60 K class-pruned, then
+//! to the accepts alone once the boundary class was filtered member-wise
+//! on the saturated 90-day benchmark). [`FitIter::probes`] counts the
+//! entries the iterator actually examined (including skipped rejects), so
+//! callers can still estimate the work a memoized scan avoided.
 //!
 //! Structure:
 //!
@@ -41,10 +53,37 @@
 //!   increase monotonically); removals binary-search.
 //! * `pos_of` — job id → position, for O(1) removal when the driver applies
 //!   a dispatch decision.
+//!
+//! # Positions as memo keys: the clear-epoch invalidation rule
+//!
+//! Because positions grow monotonically and tombstones are never reused,
+//! a position is a *stable identifier* for one queue entry for the
+//! lifetime of the queue — until [`WaitQueue::clear`], which resets
+//! positions to 0 and would silently alias old memoized positions onto
+//! new entries. The queue therefore carries a **clear-epoch counter**
+//! ([`WaitQueue::epoch`]), bumped exactly on `clear()`: any consumer that
+//! remembers positions across calls (the EASY backfill reject memo in
+//! `policy.rs`) must also remember the epoch and drop its memo when it
+//! changes. The carbon-aware gate's scratch queue clears once per
+//! dispatch, so under that wrapper the epoch changes every call and the
+//! memo never applies — correct, just without benefit.
+//!
+//! This is what makes the reject memo decision-invisible: within one
+//! epoch, an entry's position never changes and removals never move other
+//! entries, so "every live entry at position < `frontier` was a provable
+//! reject under scan inputs *K*" stays a true statement for exactly as
+//! long as *K* recurs — rejects have no side effects, budgets are
+//! compared against the same values, and the simulated clock only moves
+//! forward (which can only shrink the shadow window and turn accepts into
+//! rejects, never the reverse). Skipping those positions therefore yields
+//! exactly the accept sequence of a full rescan. New arrivals always land
+//! at positions ≥ the memoized [`WaitQueue::frontier`] and are always
+//! scanned.
 
+use greener_simkit::fastmap::FastMap;
 use greener_workload::JobId;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use crate::policy::QueuedJob;
 
@@ -98,9 +137,11 @@ pub struct WaitQueue {
     head: usize,
     /// Number of live entries.
     live: usize,
-    /// `classes[size · NB + bucket]` = ascending positions of live entries
-    /// of that (gang size, duration bucket) class.
-    classes: Vec<Vec<u32>>,
+    /// `classes[size · NB + bucket]` = `(position, duration secs)` of live
+    /// entries of that (gang size, duration bucket) class, ascending by
+    /// position. The exact duration rides along so the boundary duration
+    /// class can be filtered member-wise without touching `slots`.
+    classes: Vec<Vec<(u32, u64)>>,
     /// Class indices holding entries since the last `clear` (so `clear`
     /// touches only used classes, not the whole sparse table — the
     /// carbon-gate scratch queue clears once per dispatch).
@@ -110,7 +151,10 @@ pub struct WaitQueue {
     /// queues) cannot grow `touched` beyond one entry per class.
     touched_flag: Vec<bool>,
     /// Job id → slot position of live entries.
-    pos_of: HashMap<JobId, u32>,
+    pos_of: FastMap<JobId, u32>,
+    /// Clear-epoch: bumped on every [`WaitQueue::clear`], when positions
+    /// stop being stable identifiers (see the module docs).
+    epoch: u64,
 }
 
 impl WaitQueue {
@@ -158,7 +202,7 @@ impl WaitQueue {
             self.touched.push(class as u32);
         }
         // Positions grow monotonically, so appending keeps the list sorted.
-        self.classes[class].push(pos);
+        self.classes[class].push((pos, q.job.nominal_duration().0));
         self.pos_of.insert(q.job.id, pos);
         self.slots.push(Some(q));
         self.live += 1;
@@ -190,7 +234,7 @@ impl WaitQueue {
             .expect("pos_of points at live slots");
         let list = &mut self.classes[Self::class_of(&q) as usize];
         let i = list
-            .binary_search(&pos)
+            .binary_search_by_key(&pos, |&(p, _)| p)
             .expect("live entry is in its class list");
         list.remove(i);
         self.live -= 1;
@@ -200,8 +244,25 @@ impl WaitQueue {
         Some(q)
     }
 
+    /// The clear-epoch counter: positions yielded before the last
+    /// [`WaitQueue::clear`] must not be compared with positions after it
+    /// (see the module docs' invalidation rule).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// One past the highest position ever allocated in this epoch: every
+    /// current live entry sits at a position < `frontier()`, and every
+    /// future push lands at a position ≥ it.
+    #[inline]
+    pub fn frontier(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
     /// Drop everything (retaining allocated capacity for refills).
     pub fn clear(&mut self) {
+        self.epoch += 1;
         self.slots.clear();
         self.head = 0;
         self.live = 0;
@@ -242,10 +303,13 @@ impl WaitQueue {
     /// `free` and `spare` are re-passed (non-increasing) on every
     /// [`FitIter::next`] call so classes drop as the budgets shrink —
     /// mirroring exactly which jobs a full arrival-order scan with the same
-    /// shrinking budgets could accept. Only the single *boundary* duration
-    /// class straddling `d_max` can yield candidates the caller will still
-    /// reject; everything else yielded satisfies one of the two accept
-    /// conditions (the caller keeps the authoritative test).
+    /// shrinking budgets could accept. This **exact** mode additionally
+    /// applies the per-member duration test inside the boundary duration
+    /// class, so *every* candidate yielded satisfies one of the two accept
+    /// conditions under the budgets passed to that `next` call (the caller
+    /// keeps the authoritative test; it just stops seeing the provable
+    /// rejects). Visit-budgeted callers must use
+    /// [`WaitQueue::backfill_candidates_visiting`] instead.
     ///
     /// Pass `d_max = u64::MAX` for a pure size-fit iteration (every
     /// duration class qualifies unconditionally).
@@ -256,6 +320,26 @@ impl WaitQueue {
         d_max: u64,
         spare: u32,
     ) -> FitIter<'_> {
+        self.fit_iter(after, free, d_max, spare, true)
+    }
+
+    /// Like [`WaitQueue::backfill_candidates`], but the boundary duration
+    /// class is yielded member-by-member *including* its provable rejects,
+    /// exactly like the classic arrival-order scan visits them. Depth-
+    /// budgeted backfill (`BackfillLimit::Depth`) needs this mode: its
+    /// budget counts visited candidates, so filtering rejects out would
+    /// change which candidates the budget covers — i.e. the decisions.
+    pub fn backfill_candidates_visiting(
+        &self,
+        after: u32,
+        free: u32,
+        d_max: u64,
+        spare: u32,
+    ) -> FitIter<'_> {
+        self.fit_iter(after, free, d_max, spare, false)
+    }
+
+    fn fit_iter(&self, after: u32, free: u32, d_max: u64, spare: u32, exact: bool) -> FitIter<'_> {
         let max_size = (self.classes.len() as u32).div_ceil(NB).saturating_sub(1);
         let mut heap = BinaryHeap::with_capacity(32);
         for size in 1..=max_size.min(free) {
@@ -273,9 +357,9 @@ impl WaitQueue {
                     continue;
                 }
                 // First candidate strictly after `after`.
-                let cur = list.partition_point(|&p| p <= after);
+                let cur = list.partition_point(|&(p, _)| p <= after);
                 if cur < list.len() {
-                    heap.push(Reverse((list[cur], class, cur as u32)));
+                    heap.push(Reverse((list[cur].0, class, cur as u32)));
                 }
             }
         }
@@ -283,6 +367,8 @@ impl WaitQueue {
             q: self,
             d_max,
             heap,
+            exact,
+            probes: 0,
         }
     }
 }
@@ -307,6 +393,12 @@ pub struct FitIter<'a> {
     /// Min-heap of `(next position, class, cursor index)` — one entry per
     /// active class, keyed by that class's earliest unvisited position.
     heap: BinaryHeap<Reverse<(u32, u32, u32)>>,
+    /// Exact mode: apply the per-member duration test in the boundary
+    /// class and skip provable rejects instead of yielding them.
+    exact: bool,
+    /// Class-list entries examined so far (yields, class-drop pops and
+    /// exact-mode skipped rejects) — see [`FitIter::probes`].
+    probes: u64,
 }
 
 impl<'a> FitIter<'a> {
@@ -316,9 +408,13 @@ impl<'a> FitIter<'a> {
     /// `free` and `spare` must be ≤ every value passed previously (backfill
     /// only consumes GPUs); classes they disqualify are discarded
     /// permanently, exactly like a full scan with shrinking budgets would
-    /// skip their members.
+    /// skip their members. In exact mode, skipped boundary-class rejects
+    /// are likewise discarded permanently — sound for the same reason: the
+    /// duration test is fixed at creation and the spare budget only
+    /// shrinks, so a provable reject can never become an accept later.
     pub fn next(&mut self, free: u32, spare: u32) -> Option<&'a QueuedJob> {
         while let Some(Reverse((pos, class, cur))) = self.heap.pop() {
+            self.probes += 1;
             let size = class / NB;
             let bucket = class % NB;
             // Budgets only shrink, so a class that no longer qualifies
@@ -330,10 +426,30 @@ impl<'a> FitIter<'a> {
                 continue;
             }
             let list = &self.q.classes[class as usize];
-            let cur = cur as usize;
+            let mut cur = cur as usize;
+            debug_assert_eq!(list[cur].0, pos);
+            if self.exact && size > spare && list[cur].1 > self.d_max {
+                // Boundary-class provable reject (outlives the shadow
+                // window, gang exceeds the spare budget): walk past the
+                // contiguous run of rejects and re-queue the first member
+                // that could still be accepted, so the position-ordered
+                // merge stays intact without yielding the rejects.
+                loop {
+                    cur += 1;
+                    if cur >= list.len() {
+                        break;
+                    }
+                    if list[cur].1 <= self.d_max {
+                        self.heap.push(Reverse((list[cur].0, class, cur as u32)));
+                        break;
+                    }
+                    self.probes += 1;
+                }
+                continue;
+            }
             if cur + 1 < list.len() {
                 self.heap
-                    .push(Reverse((list[cur + 1], class, cur as u32 + 1)));
+                    .push(Reverse((list[cur + 1].0, class, cur as u32 + 1)));
             }
             return Some(
                 self.q.slots[pos as usize]
@@ -342,6 +458,16 @@ impl<'a> FitIter<'a> {
             );
         }
         None
+    }
+
+    /// Class-list entries this iterator has examined: every candidate
+    /// yielded, every entry popped for a since-disqualified class, and
+    /// every boundary reject skipped in exact mode. The reject memo in
+    /// `policy.rs` records this as the work a repeated identical scan
+    /// would redo — the basis of its `saved_visits` estimate.
+    #[inline]
+    pub fn probes(&self) -> u64 {
+        self.probes
     }
 }
 
@@ -517,10 +643,12 @@ mod tests {
     }
 
     #[test]
-    fn boundary_class_yields_per_item() {
-        // d_max falls inside a bucket: members of that bucket must all be
-        // yielded (the caller applies the exact duration test). Position 0
-        // is the blocked head.
+    fn boundary_class_exact_vs_visiting() {
+        // d_max falls inside a bucket: job 1 (1.2 h) fits the window, job 2
+        // (1.8 h) outlives it with no spare budget — a provable reject.
+        // Exact mode filters it member-wise (but counts the probe);
+        // visiting mode yields it like the classic scan, for depth-budgeted
+        // callers. Position 0 is the blocked head.
         let q: WaitQueue = [qjob(9, 16, 1.0), qjob(1, 2, 1.2), qjob(2, 2, 1.8)]
             .into_iter()
             .collect();
@@ -530,7 +658,25 @@ mod tests {
         while let Some(j) = it.next(8, 0) {
             seen.push(j.job.id.0);
         }
-        assert_eq!(seen, vec![1, 2], "boundary bucket is not pruned");
+        assert_eq!(seen, vec![1], "exact mode filters the boundary reject");
+        assert!(
+            it.probes() >= 2,
+            "the skipped reject still counts as examined work"
+        );
+        let mut it = q.backfill_candidates_visiting(0, 8, d_max, 0);
+        let mut seen = Vec::new();
+        while let Some(j) = it.next(8, 0) {
+            seen.push(j.job.id.0);
+        }
+        assert_eq!(seen, vec![1, 2], "visiting mode yields the whole bucket");
+        // With spare budget for the gang, exact mode yields job 2 too (the
+        // spare-GPU accept condition holds).
+        let mut it = q.backfill_candidates(0, 8, d_max, 2);
+        let mut seen = Vec::new();
+        while let Some(j) = it.next(8, 2) {
+            seen.push(j.job.id.0);
+        }
+        assert_eq!(seen, vec![1, 2]);
     }
 
     #[test]
@@ -542,6 +688,26 @@ mod tests {
         assert_eq!(ids(&q), vec![9]);
         // Position 0 is the only entry; `after = 0` excludes it.
         assert!(drain_fit(&q, 0, 8).is_empty());
+    }
+
+    #[test]
+    fn epoch_bumps_on_clear_and_frontier_tracks_positions() {
+        let mut q = WaitQueue::new();
+        assert_eq!(q.epoch(), 0);
+        assert_eq!(q.frontier(), 0);
+        q.push(qjob(1, 2, 1.0));
+        q.push(qjob(2, 2, 1.0));
+        assert_eq!(q.frontier(), 2);
+        // Removal moves neither the frontier nor the epoch: positions stay
+        // stable identifiers within an epoch.
+        q.remove(JobId(1));
+        assert_eq!(q.frontier(), 2);
+        assert_eq!(q.epoch(), 0);
+        q.push(qjob(3, 2, 1.0));
+        assert_eq!(q.frontier(), 3);
+        q.clear();
+        assert_eq!(q.epoch(), 1);
+        assert_eq!(q.frontier(), 0);
     }
 
     #[test]
@@ -614,9 +780,11 @@ mod tests {
             }
 
             /// Duration pruning is sound: with arbitrary (fixed) budgets,
-            /// the iterator yields a superset of the jobs an exact full
-            /// scan would accept, in arrival order, and everything it
-            /// *prunes* is a provable reject (fails both conditions).
+            /// exact mode yields *exactly* the jobs a full arrival-order
+            /// scan would accept (the member-wise boundary filter removes
+            /// every provable reject and nothing else), while visiting
+            /// mode yields a superset — the same accepts plus boundary
+            /// rejects — in arrival order.
             #[test]
             fn pruning_never_hides_an_accept(
                 jobs in prop::collection::vec((1u32..9, 1u64..200_000), 1..50),
@@ -628,12 +796,6 @@ mod tests {
                 for (i, &(g, d_secs)) in jobs.iter().enumerate() {
                     q.push(qjob_at(i as u64, g, d_secs as f64 / 3_600.0, SimTime::ZERO));
                 }
-                // after=0 semantics: skip position 0 like the scan below.
-                let mut it = q.backfill_candidates(0, free, d_max, spare);
-                let mut yielded = Vec::new();
-                while let Some(j) = it.next(free, spare) {
-                    yielded.push(j.job.id.0);
-                }
                 // Reference accepts under *fixed* budgets.
                 let mut accepts = Vec::new();
                 for (pos, j) in q.live_positions() {
@@ -644,17 +806,30 @@ mod tests {
                         accepts.push(j.job.id.0);
                     }
                 }
-                // Every reference accept is yielded, in order.
-                let mut yi = yielded.iter();
+                // after=0 semantics: skip position 0 like the scan above.
+                let mut it = q.backfill_candidates(0, free, d_max, spare);
+                let mut yielded = Vec::new();
+                while let Some(j) = it.next(free, spare) {
+                    yielded.push(j.job.id.0);
+                }
+                // Exact mode == reference accepts, in order.
+                prop_assert_eq!(&yielded, &accepts);
+                let mut it = q.backfill_candidates_visiting(0, free, d_max, spare);
+                let mut visited = Vec::new();
+                while let Some(j) = it.next(free, spare) {
+                    visited.push(j.job.id.0);
+                }
+                // Every reference accept is visited, in order.
+                let mut vi = visited.iter();
                 for a in &accepts {
                     prop_assert!(
-                        yi.any(|y| y == a),
-                        "accept {} missing from yielded {:?}", a, yielded
+                        vi.any(|v| v == a),
+                        "accept {} missing from visited {:?}", a, visited
                     );
                 }
-                // Everything yielded at least fits the free GPUs.
-                for y in &yielded {
-                    let j = q.get(JobId(*y)).unwrap();
+                // Everything visited at least fits the free GPUs.
+                for v in &visited {
+                    let j = q.get(JobId(*v)).unwrap();
                     prop_assert!(j.job.gpus <= free);
                 }
             }

@@ -1,0 +1,128 @@
+//! Fast integer-keyed hash maps for simulator hot loops.
+//!
+//! `std`'s default SipHash is DoS-resistant but pays ~10× the cost of a
+//! mixing hash on the small integer keys the simulator uses everywhere
+//! (job ids, slot positions). The decision-apply profile showed those map
+//! operations as a visible slice of the replay loop: every job start and
+//! finish hashes into the cluster's allocation table and the waiting
+//! queue's position table.
+//!
+//! [`MixHasher`] is a deliberate non-cryptographic replacement: one
+//! [`crate::rng::splitmix64`] finalizer round per 8-byte word.
+//! Splitmix64's finalizer is a full-avalanche bijection, so every input
+//! bit diffuses into every output bit — ample for hash-bucket dispersion
+//! of trusted, simulator-generated keys. Do **not** use it for keys an
+//! adversary controls.
+//!
+//! Swapping a map's hasher changes only bucket order, never lookup
+//! results. The simulator's determinism contract therefore requires that
+//! no decision-affecting path iterates a [`FastMap`] — the same standing
+//! rule `std`'s randomized SipHash already imposed, which is why the swap
+//! is bit-identical on every golden fingerprint.
+
+use crate::rng::splitmix64;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`MixHasher`] — for trusted integer-ish keys on hot
+/// paths.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<MixHasher>>;
+
+/// A `HashSet` using [`MixHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<MixHasher>>;
+
+/// One-round splitmix64 mixing hasher (see the module docs).
+#[derive(Debug, Default, Clone)]
+pub struct MixHasher(u64);
+
+impl Hasher for MixHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fold arbitrary bytes 8 at a time; the trailing partial word is
+        // zero-padded. Length is mixed in so prefixes don't collide with
+        // their zero-extensions.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+        self.write_u64(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = splitmix64(self.0 ^ n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip_and_overwrite() {
+        let mut m: FastMap<u64, &'static str> = FastMap::default();
+        for k in 0..1_000u64 {
+            m.insert(k, "a");
+        }
+        m.insert(7, "b");
+        assert_eq!(m.len(), 1_000);
+        assert_eq!(m.get(&7), Some(&"b"));
+        assert_eq!(m.remove(&999), Some("a"));
+        assert_eq!(m.get(&999), None);
+    }
+
+    #[test]
+    fn sequential_keys_disperse() {
+        // Dense ids are the common case (job ids count up from 0): the
+        // finalizer must spread them across the low bits the map actually
+        // uses for bucketing.
+        let mut low_bits: FastSet<u64> = FastSet::default();
+        for k in 0..256u64 {
+            let mut h = MixHasher::default();
+            h.write_u64(k);
+            low_bits.insert(h.finish() & 0xFF);
+        }
+        assert!(
+            low_bits.len() > 128,
+            "256 sequential keys landed on only {} low-byte values",
+            low_bits.len()
+        );
+    }
+
+    #[test]
+    fn byte_stream_prefixes_do_not_collide() {
+        let hash = |bytes: &[u8]| {
+            let mut h = MixHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_ne!(hash(b"ab"), hash(b"ab\0"));
+        assert_ne!(hash(b""), hash(b"\0"));
+    }
+}

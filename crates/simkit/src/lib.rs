@@ -32,6 +32,7 @@
 pub mod calendar;
 pub mod calq;
 pub mod des;
+pub mod fastmap;
 pub mod obs;
 pub mod par;
 pub mod rng;
