@@ -19,6 +19,17 @@
 //! at hourly sampling, collected by the driver's `QueueDepthProbe`).
 //! JSON is hand-formatted (the vendored serde stand-in has no serializer).
 //!
+//! A `"campaign"` section reports the `campaign_small` lane: the
+//! policy-only campaign manifest (see `greener_bench::scenarios`) run
+//! through `greener_core::campaign`'s shard-and-merge executor, with
+//! cells/sec under world-reuse caching vs per-cell world rebuilds and a
+//! merged-report byte-identity check across shard counts 1 and 2 (the CI
+//! campaign smoke greps for it).
+//!
+//! Flags are parsed strictly by [`greener_bench::cli`]: an unknown flag
+//! (e.g. a `--proflie` typo) aborts with the usage text instead of
+//! silently running the wrong benchmark shape.
+//!
 //! `--smoke` runs each scenario once after warm-up: CI uses it to keep the
 //! bench binary from rotting without paying for stable timings.
 //!
@@ -39,7 +50,8 @@
 //! record. This is the "profile before picking" instrument behind
 //! ROADMAP's replay-remainder work.
 
-use greener_bench::scenarios::{dispatch_burst_7d, dispatch_heavy_90d};
+use greener_bench::scenarios::{campaign_small, dispatch_burst_7d, dispatch_heavy_90d};
+use greener_core::campaign::{run_campaign, InProcessBackend};
 use greener_core::driver::{SimDriver, World};
 use greener_core::probe::Observe;
 use greener_core::profile::{ProfileCounter, ProfilePhase, ProfileSubPhase, ReplayProfile};
@@ -205,15 +217,87 @@ fn time_worldgen(
     }
 }
 
+/// The campaign lane's snapshot row: runs/sec through the shard-and-merge
+/// executor with and without world-reuse caching, plus the merge
+/// byte-identity check the CI campaign smoke greps for.
+struct CampaignMeasurement {
+    cells: usize,
+    distinct_worlds: usize,
+    reuse_secs_per_cell: f64,
+    rebuild_secs_per_cell: f64,
+    /// Merged report text byte-identical at shard counts 1 and 2.
+    merged_identical_shards_1_2: bool,
+}
+
+/// Time the `campaign_small` manifest through the campaign executor.
+///
+/// Both timed passes run **one shard, sequentially**, so the ratio
+/// isolates world reuse: the rebuild pass builds all `cells` worlds, the
+/// reuse pass builds `distinct_worlds` (= 1 here — every axis is
+/// replay-side) and replays the rest over the cache.
+///
+/// Caveat, as for every lane in this binary: the container's timer noise
+/// is ±30% on short runs, so the recorded speedup is indicative, not a
+/// gate. The structural expectation is `(worldgen + replay) / replay` of
+/// the underlying scenario (~2.3× for `driver_small_2y`'s current split),
+/// and the snapshot should stay in that neighbourhood.
+fn time_campaign(min_runs: usize, budget_secs: f64) -> CampaignMeasurement {
+    let plan = campaign_small(greener_bench::seeds::WORLD)
+        .expand()
+        .expect("campaign_small expands");
+    let reuse = InProcessBackend { world_reuse: true };
+    let rebuild = InProcessBackend { world_reuse: false };
+    // Merge determinism across shard counts, on top of the equivalence
+    // axis pinning it in-tree: the canonical report text must be
+    // byte-identical however the plan is sharded.
+    let one = run_campaign(&plan, &reuse, 1).expect("merge").to_text();
+    let two = run_campaign(&plan, &reuse, 2).expect("merge").to_text();
+    let merged_identical = one == two;
+    let (reuse_runs, reuse_secs) = time_loop(min_runs, budget_secs, || {
+        std::hint::black_box(run_campaign(&plan, &reuse, 1).expect("merge"));
+    });
+    let (_, rebuild_secs) = time_loop(min_runs, budget_secs, || {
+        std::hint::black_box(run_campaign(&plan, &rebuild, 1).expect("merge"));
+    });
+    eprintln!(
+        "[perfjson] campaign_small: {} cells over {} world(s), {:.3} s/campaign with reuse \
+         ({reuse_runs} passes) vs {:.3} s/campaign rebuilding ({:.2}x), merged identical at \
+         shards 1 vs 2: {merged_identical}",
+        plan.len(),
+        plan.distinct_worlds(),
+        reuse_secs,
+        rebuild_secs,
+        rebuild_secs / reuse_secs,
+    );
+    CampaignMeasurement {
+        cells: plan.len(),
+        distinct_worlds: plan.distinct_worlds(),
+        reuse_secs_per_cell: reuse_secs / plan.len() as f64,
+        rebuild_secs_per_cell: rebuild_secs / plan.len() as f64,
+        merged_identical_shards_1_2: merged_identical,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let profile = args.iter().any(|a| a == "--profile");
+    let parsed = match greener_bench::cli::parse(&args) {
+        Ok(Some(parsed)) => parsed,
+        Ok(None) => {
+            print!("{}", greener_bench::cli::USAGE);
+            return;
+        }
+        Err(err) => {
+            eprintln!("perfjson: {err}");
+            std::process::exit(2);
+        }
+    };
+    let (smoke, profile) = (parsed.smoke, parsed.profile);
     // Smoke mode: one timed run per scenario (plus the warm-up), so CI can
     // prove the bench binary still runs without waiting for stable timings.
     // Single-run timings are noise, so smoke mode never overwrites the
-    // curated BENCH_engine.json trajectory — it always prints to stdout.
-    let to_stdout = smoke || args.iter().any(|a| a == "-");
+    // curated BENCH_engine.json trajectory — it always prints to stdout
+    // (`cli::parse` forces `to_stdout` under `--smoke`).
+    let to_stdout = parsed.to_stdout;
     let (min_runs, short_budget, long_budget) = if smoke { (1, 0.0, 0.0) } else { (3, 3.0, 10.0) };
 
     let measurements = [
@@ -253,6 +337,8 @@ fn main() {
         ),
     ];
 
+    let campaign = time_campaign(min_runs, long_budget);
+
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let profile_field = m
@@ -277,7 +363,19 @@ fn main() {
             if i + 1 < measurements.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"campaign\": {{\"name\": \"campaign_small\", \"cells\": {}, \"distinct_worlds\": {}, \
+         \"cells_per_sec_world_reuse\": {:.6}, \"cells_per_sec_rebuild\": {:.6}, \
+         \"world_reuse_speedup\": {:.3}, \"merged_identical_shards_1_2\": {}}}\n",
+        campaign.cells,
+        campaign.distinct_worlds,
+        1.0 / campaign.reuse_secs_per_cell,
+        1.0 / campaign.rebuild_secs_per_cell,
+        campaign.rebuild_secs_per_cell / campaign.reuse_secs_per_cell,
+        campaign.merged_identical_shards_1_2,
+    ));
+    json.push_str("}\n");
 
     if to_stdout {
         print!("{json}");

@@ -41,6 +41,96 @@
 //!   `backfill_visits_saved` (reject-memo engagement; see
 //!   `greener_sched::waitq` for the invalidation rules).
 
+/// The `perfjson` command line: a strict flag parser.
+///
+/// Strict on purpose — `perfjson` used to scan with
+/// `args.iter().any(|a| a == "--smoke")`, so a typo like `--proflie`
+/// silently ran the wrong benchmark shape and the snapshot looked valid.
+/// Unknown flags now fail with the usage text.
+pub mod cli {
+    /// Parsed `perfjson` flags.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct PerfArgs {
+        /// One timed run per scenario (CI smoke; implies stdout-only,
+        /// since single-run timings must never overwrite the curated
+        /// `BENCH_engine.json` trajectory).
+        pub smoke: bool,
+        /// Attach the replay phase split (`SimDriver::run_profiled`).
+        pub profile: bool,
+        /// Print to stdout instead of writing `BENCH_engine.json`.
+        pub to_stdout: bool,
+    }
+
+    /// Usage text printed for `--help` and appended to unknown-flag errors.
+    pub const USAGE: &str = "usage: perfjson [--smoke] [--profile] [-]\n\
+        \n\
+        \x20 --smoke    one timed run per scenario (CI); implies stdout-only\n\
+        \x20 --profile  attach the replay phase split and loop counters\n\
+        \x20 -          print to stdout instead of writing BENCH_engine.json\n\
+        \x20 --help     show this message\n";
+
+    /// Parse the argument list (without the program name).
+    ///
+    /// Returns `Ok(None)` for `--help`/`-h`, `Err` (with the usage text)
+    /// for any flag not in the table.
+    pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Option<PerfArgs>, String> {
+        let mut parsed = PerfArgs {
+            smoke: false,
+            profile: false,
+            to_stdout: false,
+        };
+        for arg in args {
+            match arg.as_ref() {
+                "--smoke" => parsed.smoke = true,
+                "--profile" => parsed.profile = true,
+                "-" => parsed.to_stdout = true,
+                "--help" | "-h" => return Ok(None),
+                unknown => return Err(format!("unknown flag `{unknown}`\n{USAGE}")),
+            }
+        }
+        if parsed.smoke {
+            parsed.to_stdout = true;
+        }
+        Ok(Some(parsed))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn known_flags_parse() {
+            let a = parse(&["--smoke", "--profile"]).unwrap().unwrap();
+            assert!(a.smoke && a.profile && a.to_stdout, "smoke implies stdout");
+            let a = parse(&["--profile"]).unwrap().unwrap();
+            assert!(a.profile && !a.smoke && !a.to_stdout);
+            let a = parse(&["-"]).unwrap().unwrap();
+            assert!(a.to_stdout && !a.smoke && !a.profile);
+            let a = parse::<&str>(&[]).unwrap().unwrap();
+            assert!(!a.smoke && !a.profile && !a.to_stdout);
+        }
+
+        #[test]
+        fn typos_are_rejected_with_usage() {
+            for bad in ["--proflie", "--smok", "--", "smoke", "--smoke=1"] {
+                let e = parse(&[bad]).unwrap_err();
+                assert!(e.contains(bad), "{e}");
+                assert!(e.contains("usage:"), "{e}");
+            }
+            // A typo anywhere in the list fails, even after valid flags.
+            assert!(parse(&["--smoke", "--proflie"]).is_err());
+        }
+
+        #[test]
+        fn help_short_circuits() {
+            assert_eq!(parse(&["--help"]).unwrap(), None);
+            assert_eq!(parse(&["-h"]).unwrap(), None);
+            // …even alongside other flags.
+            assert_eq!(parse(&["--smoke", "--help"]).unwrap(), None);
+        }
+    }
+}
+
 /// Standard seeds used by the benches and the repro binary so their outputs
 /// are comparable across runs.
 pub mod seeds {
@@ -85,5 +175,35 @@ pub mod scenarios {
         s.trace.demand.diurnal_fraction = 0.98;
         s.trace.demand.surge_mult = 2.0;
         s
+    }
+
+    /// The `campaign_small` manifest: a **policy-only** campaign (policy ×
+    /// SLO threshold, one seed) over the small two-year world. Every axis
+    /// is replay-side, so all 12 cells share one world — the shape where
+    /// world-reuse caching pays most, and the lane `perfjson` reports
+    /// runs/sec on with and without reuse.
+    pub fn campaign_small(seed: u64) -> greener_core::campaign::CampaignManifest {
+        use greener_core::campaign::{AxisValue, CampaignManifest, Knob};
+        use greener_sched::PolicyKind;
+        CampaignManifest::new("campaign_small", Scenario::two_year_small(seed))
+            .with_axis(
+                Knob::Policy,
+                vec![
+                    AxisValue::Policy(PolicyKind::Fcfs),
+                    AxisValue::Policy(PolicyKind::EasyBackfill),
+                    AxisValue::Policy(PolicyKind::StaticCap { cap_w: 160.0 }),
+                    AxisValue::Policy(PolicyKind::CarbonAware {
+                        green_threshold: 0.06,
+                    }),
+                ],
+            )
+            .with_axis(
+                Knob::SloWaitHours,
+                vec![
+                    AxisValue::Real(12.0),
+                    AxisValue::Real(24.0),
+                    AxisValue::Real(48.0),
+                ],
+            )
     }
 }

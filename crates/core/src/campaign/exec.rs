@@ -1,0 +1,588 @@
+//! Shard-and-merge campaign execution with world-reuse caching.
+//!
+//! A plan is partitioned into K contiguous shards; each shard runs
+//! independently through a [`ShardBackend`] and returns a **serialized**
+//! aggregate artifact; the artifacts are merged back in cell-index order
+//! into one [`CampaignReport`]. The serialization boundary is deliberate:
+//! a backend that ships shards to worker processes (or machines) and
+//! returns their stdout is a drop-in — the merge only ever sees artifact
+//! text.
+//!
+//! # The merge-determinism invariant
+//!
+//! For a fixed plan, the merged report is **bit-identical for every shard
+//! count K and every `RAYON_NUM_THREADS`**: each cell's result is a pure
+//! function of its scenario (the engine's determinism invariants), shards
+//! partition the plan, and the merge places results by cell index — never
+//! by completion order. Floats cross the artifact boundary as
+//! `f64::to_bits` hex, so serialization cannot round. The
+//! `assert_campaign_equivalent` axis in [`crate::equivalence`] pins
+//! sharded/merged execution against straight per-cell runs.
+//!
+//! # World reuse
+//!
+//! [`InProcessBackend`] keys each cell by
+//! [`Scenario::world_inputs_key`](crate::scenario::Scenario::world_inputs_key) and builds each distinct world once per
+//! shard, replaying every matching cell over it via the aggregates-only
+//! observation fast path — exactly the by-hand pattern the bench crate
+//! established, now automatic. On a policy-only campaign this turns
+//! O(cells) world builds into O(distinct seeds) per shard.
+
+use std::collections::HashMap;
+
+use greener_simkit::sweep;
+use greener_simkit::units::Energy;
+
+use crate::driver::{JobStats, SimDriver, World};
+use crate::probe::{Observe, RunAggregates};
+
+use super::plan::{CampaignCell, CampaignPlan};
+
+/// An error while parsing or merging shard artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignError {
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "campaign: {}", self.msg)
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+fn cerr<T>(msg: impl Into<String>) -> Result<T, CampaignError> {
+    Err(CampaignError { msg: msg.into() })
+}
+
+/// One shard of a plan: the contiguous cell range `start..end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Shard ordinal, `0..of`.
+    pub shard: usize,
+    /// Total shard count.
+    pub of: usize,
+    /// First cell index (inclusive).
+    pub start: usize,
+    /// One past the last cell index.
+    pub end: usize,
+}
+
+/// Partition `n_cells` into `k` contiguous, balanced shards (sizes differ
+/// by at most one; earlier shards take the remainder). Shards with an
+/// empty range are kept so `partition(n, k).len() == k` always holds —
+/// they produce empty artifacts and merge away.
+pub fn partition(n_cells: usize, k: usize) -> Vec<ShardSpec> {
+    assert!(k > 0, "shard count must be positive");
+    let base = n_cells / k;
+    let extra = n_cells % k;
+    let mut specs = Vec::with_capacity(k);
+    let mut start = 0;
+    for shard in 0..k {
+        let len = base + usize::from(shard < extra);
+        specs.push(ShardSpec {
+            shard,
+            of: k,
+            start,
+            end: start + len,
+        });
+        start += len;
+    }
+    specs
+}
+
+/// One cell's aggregate results, as carried by artifacts and reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell's plan index (merge position).
+    pub index: usize,
+    /// The cell's stable id.
+    pub id: String,
+    /// Aggregate run totals.
+    pub aggregates: RunAggregates,
+    /// Aggregate job statistics.
+    pub jobs: JobStats,
+    /// Battery wear, cycles.
+    pub battery_cycles: f64,
+}
+
+/// A shard's serialized output: one `cell …` line per cell in the shard's
+/// range, in plan order. Produced by a [`ShardBackend`]; consumed only by
+/// [`merge_artifacts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardArtifact {
+    /// The artifact text.
+    pub text: String,
+}
+
+/// `f64` → bit-exact hex token.
+fn fbits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Bit-exact hex token → `f64`.
+fn parse_fbits(tok: &str) -> Result<f64, CampaignError> {
+    match u64::from_str_radix(tok, 16) {
+        Ok(bits) => Ok(f64::from_bits(bits)),
+        Err(_) => cerr(format!("bad f64 bits token `{tok}`")),
+    }
+}
+
+fn parse_usize(tok: &str) -> Result<usize, CampaignError> {
+    tok.parse::<usize>().map_err(|_| CampaignError {
+        msg: format!("bad integer token `{tok}`"),
+    })
+}
+
+impl CellResult {
+    /// Serialize to one artifact line. Floats are emitted as `to_bits`
+    /// hex, so a parse round-trip is bit-exact; the id is whitespace-free
+    /// by plan construction, so the line splits back into fixed fields.
+    pub fn to_line(&self) -> String {
+        let a = &self.aggregates;
+        let j = &self.jobs;
+        format!(
+            "cell {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            self.index,
+            self.id,
+            a.hours,
+            fbits(a.energy_kwh),
+            fbits(a.carbon_kg),
+            fbits(a.cost_usd),
+            fbits(a.water_l),
+            fbits(a.it_energy_kwh),
+            fbits(a.peak_power_kw),
+            a.cooling_saturated_hours,
+            fbits(a.purchased.0),
+            fbits(a.green_weighted_kwh),
+            fbits(a.pue_sum),
+            a.pue_hours,
+            j.submitted,
+            j.completed,
+            j.unfinished,
+            fbits(j.mean_wait_hours),
+            fbits(j.p95_wait_hours),
+            fbits(j.mean_slowdown),
+            j.slo_violations,
+            fbits(j.slo_violation_fraction),
+            fbits(j.gpu_hours_completed),
+            fbits(self.battery_cycles),
+        )
+    }
+
+    /// Parse one artifact line (inverse of [`CellResult::to_line`]).
+    pub fn parse_line(line: &str) -> Result<CellResult, CampaignError> {
+        let t: Vec<&str> = line.split_whitespace().collect();
+        if t.len() != 25 || t[0] != "cell" {
+            return cerr(format!(
+                "malformed cell line (expected 25 tokens starting `cell`, got {}): `{line}`",
+                t.len()
+            ));
+        }
+        Ok(CellResult {
+            index: parse_usize(t[1])?,
+            id: t[2].to_string(),
+            aggregates: RunAggregates {
+                hours: parse_usize(t[3])?,
+                energy_kwh: parse_fbits(t[4])?,
+                carbon_kg: parse_fbits(t[5])?,
+                cost_usd: parse_fbits(t[6])?,
+                water_l: parse_fbits(t[7])?,
+                it_energy_kwh: parse_fbits(t[8])?,
+                peak_power_kw: parse_fbits(t[9])?,
+                cooling_saturated_hours: parse_usize(t[10])?,
+                purchased: Energy(parse_fbits(t[11])?),
+                green_weighted_kwh: parse_fbits(t[12])?,
+                pue_sum: parse_fbits(t[13])?,
+                pue_hours: parse_usize(t[14])?,
+            },
+            jobs: JobStats {
+                submitted: parse_usize(t[15])?,
+                completed: parse_usize(t[16])?,
+                unfinished: parse_usize(t[17])?,
+                mean_wait_hours: parse_fbits(t[18])?,
+                p95_wait_hours: parse_fbits(t[19])?,
+                mean_slowdown: parse_fbits(t[20])?,
+                slo_violations: parse_usize(t[21])?,
+                slo_violation_fraction: parse_fbits(t[22])?,
+                gpu_hours_completed: parse_fbits(t[23])?,
+            },
+            battery_cycles: parse_fbits(t[24])?,
+        })
+    }
+}
+
+/// How a shard of a plan gets executed. The in-process backend below is
+/// the only implementation today; the contract is shaped so a
+/// process-per-shard or distributed backend (serialize the shard spec
+/// out, collect artifact text back) drops in without touching the
+/// expander or the merge.
+pub trait ShardBackend: Sync {
+    /// Run every cell in `shard`'s range and return the serialized
+    /// artifact, cells in plan order.
+    fn run_shard(&self, plan: &CampaignPlan, shard: &ShardSpec) -> ShardArtifact;
+}
+
+/// In-process shard runner: replays each cell through the aggregates-only
+/// observation fast path, optionally reusing worlds across cells whose
+/// world-input keys match.
+#[derive(Debug, Clone, Copy)]
+pub struct InProcessBackend {
+    /// Build each distinct world once per shard (`true`, the default) or
+    /// once per cell (`false` — the per-cell reference the reuse tests
+    /// and the perfjson campaign lane compare against).
+    pub world_reuse: bool,
+}
+
+impl Default for InProcessBackend {
+    fn default() -> InProcessBackend {
+        InProcessBackend { world_reuse: true }
+    }
+}
+
+impl InProcessBackend {
+    /// Run one cell over a pre-built world.
+    fn run_cell(cell: &CampaignCell, world: &World) -> CellResult {
+        let out = SimDriver::run_observed(&cell.scenario, world, Observe::aggregates());
+        CellResult {
+            index: cell.index,
+            id: cell.id.clone(),
+            aggregates: out.aggregates,
+            jobs: out.jobs,
+            battery_cycles: out.battery_cycles,
+        }
+    }
+}
+
+impl ShardBackend for InProcessBackend {
+    fn run_shard(&self, plan: &CampaignPlan, shard: &ShardSpec) -> ShardArtifact {
+        let cells = &plan.cells[shard.start..shard.end];
+        let mut worlds: HashMap<String, World> = HashMap::new();
+        let mut text = String::new();
+        for cell in cells {
+            let result = if self.world_reuse {
+                let world = worlds
+                    .entry(cell.scenario.world_inputs_key())
+                    .or_insert_with(|| World::build(&cell.scenario));
+                InProcessBackend::run_cell(cell, world)
+            } else {
+                InProcessBackend::run_cell(cell, &World::build(&cell.scenario))
+            };
+            text.push_str(&result.to_line());
+            text.push('\n');
+        }
+        ShardArtifact { text }
+    }
+}
+
+/// The merged output of a campaign: every cell's result, in plan order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Per-cell results; `cells[i].index == i`.
+    pub cells: Vec<CellResult>,
+}
+
+impl CampaignReport {
+    /// Look a cell up by id (the id doubles as the scenario name, so
+    /// equivalence runners and migrated call sites key on it).
+    pub fn get(&self, id: &str) -> Option<&CellResult> {
+        self.cells.iter().find(|c| c.id == id)
+    }
+
+    /// The canonical serialized report: one line per cell, in plan order,
+    /// preceded by a header. Byte-identical across shard counts and
+    /// thread counts — this is the text the CI campaign smoke job
+    /// compares.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("campaign {} cells {}\n", self.name, self.cells.len());
+        for c in &self.cells {
+            out.push_str(&c.to_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Merge shard artifacts back into one report, placing each parsed cell by
+/// plan index and validating coverage: every plan cell exactly once, ids
+/// matching the plan's.
+pub fn merge_artifacts(
+    plan: &CampaignPlan,
+    artifacts: &[ShardArtifact],
+) -> Result<CampaignReport, CampaignError> {
+    let mut slots: Vec<Option<CellResult>> = vec![None; plan.len()];
+    for artifact in artifacts {
+        for line in artifact.text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cell = CellResult::parse_line(line)?;
+            let Some(slot) = slots.get_mut(cell.index) else {
+                return cerr(format!(
+                    "cell index {} out of range for plan of {} cells",
+                    cell.index,
+                    plan.len()
+                ));
+            };
+            if slot.is_some() {
+                return cerr(format!("cell {} delivered twice", cell.id));
+            }
+            if plan.cells[cell.index].id != cell.id {
+                return cerr(format!(
+                    "cell index {} id mismatch: plan says `{}`, artifact says `{}`",
+                    cell.index, plan.cells[cell.index].id, cell.id
+                ));
+            }
+            *slot = Some(cell);
+        }
+    }
+    let mut cells = Vec::with_capacity(plan.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(c) => cells.push(c),
+            None => {
+                return cerr(format!(
+                    "cell `{}` missing from every artifact",
+                    plan.cells[i].id
+                ))
+            }
+        }
+    }
+    Ok(CampaignReport {
+        name: plan.name.clone(),
+        cells,
+    })
+}
+
+/// Run a whole campaign: partition into `shards` shards, fan the shards
+/// out across threads (outer sweep level), merge. The merged report is
+/// bit-identical for any `shards ≥ 1` and any `RAYON_NUM_THREADS`.
+pub fn run_campaign(
+    plan: &CampaignPlan,
+    backend: &impl ShardBackend,
+    shards: usize,
+) -> Result<CampaignReport, CampaignError> {
+    let specs = partition(plan.len(), shards);
+    let artifacts = sweep::run(&specs, |spec| backend.run_shard(plan, spec));
+    merge_artifacts(plan, &artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::manifest::CampaignManifest;
+    use super::*;
+
+    fn tiny_plan() -> CampaignPlan {
+        CampaignManifest::parse(
+            "name = t\n\
+             base = quick:3@5\n\
+             seeds = 1..3\n\
+             axis policy = fcfs, easy\n",
+        )
+        .unwrap()
+        .expand()
+        .unwrap()
+    }
+
+    #[test]
+    fn partition_is_balanced_and_covers() {
+        for (n, k) in [(8, 1), (8, 2), (8, 3), (8, 8), (8, 11), (0, 3), (1, 4)] {
+            let specs = partition(n, k);
+            assert_eq!(specs.len(), k);
+            assert_eq!(specs[0].start, 0);
+            assert_eq!(specs[k - 1].end, n);
+            for w in specs.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+            }
+            let sizes: Vec<usize> = specs.iter().map(|s| s.end - s.start).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "balanced: {sizes:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn partition_rejects_zero_shards() {
+        partition(4, 0);
+    }
+
+    #[test]
+    fn cell_line_roundtrip_is_bit_exact() {
+        let plan = tiny_plan();
+        let artifact = InProcessBackend::default().run_shard(&plan, &partition(plan.len(), 1)[0]);
+        let mut parsed = 0;
+        for line in artifact.text.lines() {
+            let cell = CellResult::parse_line(line).unwrap();
+            assert_eq!(cell.to_line(), line, "roundtrip must be the identity");
+            parsed += 1;
+        }
+        assert_eq!(parsed, plan.len());
+        // Adversarial values survive too (NaN, −∞, −0.0).
+        let mut doctored = CellResult::parse_line(artifact.text.lines().next().unwrap()).unwrap();
+        doctored.aggregates.peak_power_kw = f64::NEG_INFINITY;
+        doctored.aggregates.pue_sum = f64::NAN;
+        doctored.battery_cycles = -0.0;
+        let re = CellResult::parse_line(&doctored.to_line()).unwrap();
+        assert_eq!(re.to_line(), doctored.to_line());
+        assert!(re.aggregates.pue_sum.is_nan());
+        assert_eq!(re.battery_cycles.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn merge_rejects_missing_duplicate_and_mismatched_cells() {
+        let plan = tiny_plan();
+        let backend = InProcessBackend::default();
+        let full = backend.run_shard(&plan, &partition(plan.len(), 1)[0]);
+
+        // Missing: drop the last line.
+        let mut lines: Vec<&str> = full.text.lines().collect();
+        let dropped = lines.pop().unwrap().to_string();
+        let partial = ShardArtifact {
+            text: lines.join("\n"),
+        };
+        let e = merge_artifacts(&plan, std::slice::from_ref(&partial)).unwrap_err();
+        assert!(e.msg.contains("missing"), "{e}");
+
+        // Duplicate: deliver the full artifact twice.
+        let e = merge_artifacts(&plan, &[full.clone(), full.clone()]).unwrap_err();
+        assert!(e.msg.contains("twice"), "{e}");
+
+        // Mismatched id: swap the dropped line's id for another cell's.
+        let forged = dropped.replacen(&plan.cells[plan.len() - 1].id, "t/forged", 1);
+        let e = merge_artifacts(&plan, &[partial, ShardArtifact { text: forged }]).unwrap_err();
+        assert!(e.msg.contains("id mismatch"), "{e}");
+    }
+
+    #[test]
+    fn merged_report_is_shard_count_invariant() {
+        let plan = tiny_plan();
+        let backend = InProcessBackend::default();
+        let reference = run_campaign(&plan, &backend, 1).unwrap().to_text();
+        for k in [2, 3, plan.len(), plan.len() + 3] {
+            let merged = run_campaign(&plan, &backend, k).unwrap().to_text();
+            assert_eq!(merged, reference, "shard count {k} changed the report");
+        }
+    }
+
+    #[test]
+    fn world_reuse_matches_per_cell_builds() {
+        let plan = tiny_plan();
+        assert_eq!(
+            plan.distinct_worlds(),
+            2,
+            "policy axis shares worlds per seed"
+        );
+        let reused = run_campaign(&plan, &InProcessBackend { world_reuse: true }, 1).unwrap();
+        let rebuilt = run_campaign(&plan, &InProcessBackend { world_reuse: false }, 1).unwrap();
+        // Bit-identical — not approximately equal — via the canonical text.
+        assert_eq!(reused.to_text(), rebuilt.to_text());
+    }
+
+    #[test]
+    fn report_lookup_by_id() {
+        let plan = tiny_plan();
+        let report = run_campaign(&plan, &InProcessBackend::default(), 2).unwrap();
+        let id = &plan.cells[3].id;
+        assert_eq!(report.get(id).unwrap().index, 3);
+        assert!(report.get("t/absent").is_none());
+    }
+
+    mod props {
+        use super::super::super::manifest::{AxisValue, CampaignManifest, Knob};
+        use super::*;
+        use crate::scenario::Scenario;
+        use greener_sched::PolicyKind;
+        use proptest::prelude::*;
+
+        /// Build the straight-run reference text: every cell executed
+        /// individually (fresh world each, no sharding, no reuse) through
+        /// the plain `sweep::run_seeded` fan-out, serialized with the same
+        /// encoding the artifact layer uses. Bit-exact float encoding makes
+        /// text equality exactly aggregate bit equality.
+        fn straight_text(plan: &CampaignPlan) -> String {
+            let lines = sweep::run_seeded(&plan.cells, 0, |_, cell, _hub| {
+                let world = World::build(&cell.scenario);
+                InProcessBackend::run_cell(cell, &world).to_line()
+            });
+            let mut out = format!("campaign {} cells {}\n", plan.name, plan.cells.len());
+            for line in lines {
+                out.push_str(&line);
+                out.push('\n');
+            }
+            out
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(
+                crate::equivalence::proptest_cases(4)
+            ))]
+            /// Shard-and-merge bit-equality over random small manifests:
+            /// for every shard count in {1, 2, 7, cells} and
+            /// `RAYON_NUM_THREADS` in {1, 4}, with and without world
+            /// reuse, the merged report text equals the straight
+            /// `run_seeded` reference byte for byte. (The vendored rayon
+            /// reads the variable per call and every engine axis is
+            /// thread-count-invariant, so toggling it in-process is safe.)
+            #[test]
+            fn sharded_merge_equals_straight_run_seeded(
+                days in 2usize..4,
+                world_seed in 0u64..500,
+                two_seeds in 0u8..2,
+                policy_mask in 1u8..8,
+                slo_axis in 0u8..2,
+            ) {
+                let (two_seeds, slo_axis) = (two_seeds == 1, slo_axis == 1);
+                let all = [
+                    PolicyKind::Fcfs,
+                    PolicyKind::EasyBackfill,
+                    PolicyKind::CarbonAware { green_threshold: 0.06 },
+                ];
+                let policies: Vec<AxisValue> = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| policy_mask & (1 << i) != 0)
+                    .map(|(_, &p)| AxisValue::Policy(p))
+                    .collect();
+                let mut manifest =
+                    CampaignManifest::new("prop", Scenario::quick(days, world_seed))
+                        .with_axis(Knob::Policy, policies)
+                        .with_seeds(if two_seeds {
+                            vec![world_seed, world_seed + 1]
+                        } else {
+                            vec![world_seed]
+                        });
+                if slo_axis {
+                    manifest = manifest.with_axis(
+                        Knob::SloWaitHours,
+                        vec![AxisValue::Real(12.0), AxisValue::Real(24.0)],
+                    );
+                }
+                let plan = manifest.expand().unwrap();
+                let reference = straight_text(&plan);
+                let prior = std::env::var("RAYON_NUM_THREADS").ok();
+                for threads in ["1", "4"] {
+                    std::env::set_var("RAYON_NUM_THREADS", threads);
+                    for world_reuse in [true, false] {
+                        let backend = InProcessBackend { world_reuse };
+                        for k in [1, 2, 7, plan.len()] {
+                            let merged =
+                                run_campaign(&plan, &backend, k).unwrap().to_text();
+                            prop_assert!(
+                                merged == reference,
+                                "diverged at shards={k} threads={threads} reuse={world_reuse}"
+                            );
+                        }
+                    }
+                }
+                match prior {
+                    Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+                    None => std::env::remove_var("RAYON_NUM_THREADS"),
+                }
+            }
+        }
+    }
+}

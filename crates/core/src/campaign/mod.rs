@@ -1,0 +1,88 @@
+//! The experiment-campaign layer: manifest → plan → shards → merge.
+//!
+//! Single runs are cheap now (sub-ms/simulated-month on the small world),
+//! so throughput lives *across* runs. This module turns a declarative
+//! campaign description into an ordered plan of cells, executes the plan
+//! in shards, and merges per-shard serialized artifacts into one report —
+//! deterministically: for a fixed manifest the merged report is
+//! **bit-identical for every shard count and every `RAYON_NUM_THREADS`**
+//! (the merge-determinism standing invariant, pinned by the
+//! [`crate::equivalence::assert_campaign_equivalent`] axis).
+//!
+//! Three cooperating pieces:
+//!
+//! * **[`CampaignManifest`]** ([`manifest`]) — base preset + named axes ×
+//!   values + seed range, parsed from a small `key = value` text format
+//!   (hand-rolled: the vendored serde stand-in has no serializer) or built
+//!   programmatically.
+//! * **[`CampaignPlan`]** ([`plan`]) — the deterministic row-major
+//!   expansion (first axis outermost, seeds innermost, via
+//!   [`greener_simkit::sweep::gridn_indices`]) into cells with stable ids.
+//! * **[`ShardBackend`] / [`run_campaign`]** ([`exec`]) — contiguous shard
+//!   partition, per-shard execution behind a serialization boundary
+//!   (process-per-shard backends drop in later), world-reuse caching
+//!   keyed by [`Scenario::world_inputs_key`], and the index-ordered merge.
+//!
+//! # Manifest format
+//!
+//! Line-oriented; `#` starts a comment; blank lines ignored.
+//!
+//! ```text
+//! name  = <token>                  # required; prefixes every cell id
+//! base  = <preset>[@<seed>]        # required; quick:<days> | small_2y
+//!                                  #   | baseline_2y | one_year
+//! seeds = <lo>..<hi> | s1, s2, …   # optional; default = base seed
+//! axis <knob> = v1, v2, …          # 0+ axes, outermost first
+//! ```
+//!
+//! Knobs and value syntax: `policy` (`fcfs | sjf | easy | easy_depth:<k> |
+//! cap:<watts> | temp | carbon:<green-share> | green_queues:<watts> |
+//! carbon_temp`), `horizon_days` / `nodes` (positive integers),
+//! `arrival_rate` / `surge_mult` / `qs_mult` / `slo_wait_hours` (positive
+//! reals), `forecast` (`oracle | naive | model`), `deadline`
+//! (`status_quo | uniform_spread | winter_spring | rolling`).
+//!
+//! Cells expand row-major in axis declaration order with the seed axis
+//! innermost; each cell's id is
+//! `<name>/<knob>=<label>/…/seed=<seed>` and doubles as its scenario
+//! name.
+//!
+//! # Example
+//!
+//! ```
+//! use greener_core::campaign::{CampaignManifest, InProcessBackend, run_campaign};
+//!
+//! let manifest = CampaignManifest::parse(
+//!     "name  = demo
+//!      base  = quick:3@7          # 3-day world, default seed 7
+//!      seeds = 1..3               # half-open: seeds 1 and 2
+//!      axis policy = fcfs, easy   # outermost axis
+//!      axis slo_wait_hours = 12, 24",
+//! )
+//! .unwrap();
+//! let plan = manifest.expand().unwrap();
+//! assert_eq!(plan.len(), 2 * 2 * 2);
+//! // Policy and SLO are replay-side knobs: one world per seed.
+//! assert_eq!(plan.distinct_worlds(), 2);
+//! assert_eq!(plan.cells[0].id, "demo/policy=fcfs/slo_wait_hours=12.0/seed=1");
+//!
+//! // Merged output is bit-identical for any shard count.
+//! let backend = InProcessBackend::default();
+//! let two = run_campaign(&plan, &backend, 2).unwrap();
+//! let eight = run_campaign(&plan, &backend, 8).unwrap();
+//! assert_eq!(two.to_text(), eight.to_text());
+//! assert!(two.get(&plan.cells[0].id).unwrap().aggregates.energy_kwh > 0.0);
+//! ```
+//!
+//! [`Scenario::world_inputs_key`]: crate::scenario::Scenario::world_inputs_key
+
+pub mod exec;
+pub mod manifest;
+pub mod plan;
+
+pub use exec::{
+    merge_artifacts, partition, run_campaign, CampaignError, CampaignReport, CellResult,
+    InProcessBackend, ShardArtifact, ShardBackend, ShardSpec,
+};
+pub use manifest::{Axis, AxisValue, CampaignManifest, Knob, ManifestError};
+pub use plan::{CampaignCell, CampaignPlan};

@@ -1,0 +1,205 @@
+//! Manifest → plan expansion.
+//!
+//! A [`CampaignPlan`] is the fully-expanded, ordered list of cells a
+//! manifest describes. The order is the contract everything downstream
+//! leans on: axes expand **row-major in declaration order** (first axis
+//! outermost) with the seed axis innermost, via
+//! [`greener_simkit::sweep::gridn_indices`] — the same odometer that
+//! drives `grid2`/`grid3`, so migrated call sites keep their historical
+//! iteration order bit-for-bit. Shard partitioning and artifact merging
+//! both index into this order, which is what makes the merged report
+//! independent of the shard count.
+
+use greener_simkit::sweep::gridn_indices;
+
+use crate::scenario::Scenario;
+
+use super::manifest::{CampaignManifest, ManifestError};
+
+/// One fully-resolved run of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// Position in plan order (also the merge position).
+    pub index: usize,
+    /// Stable human-readable id:
+    /// `<campaign>/<knob>=<label>/…/seed=<s>` — unique within the plan,
+    /// whitespace-free, independent of shard count and thread count.
+    pub id: String,
+    /// The root seed this cell runs under (already applied to
+    /// [`CampaignCell::scenario`]).
+    pub seed: u64,
+    /// The concrete scenario (base + this cell's axis values + seed); its
+    /// `name` is the cell id.
+    pub scenario: Scenario,
+}
+
+/// An expanded campaign: the manifest plus its ordered cells.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    /// Campaign name (from the manifest).
+    pub name: String,
+    /// The cells, in row-major plan order; `cells[i].index == i`.
+    pub cells: Vec<CampaignCell>,
+}
+
+impl CampaignManifest {
+    /// Expand the manifest into its ordered cell list.
+    ///
+    /// Deterministic: depends only on the manifest, never on thread count
+    /// or timing. Fails if two cells would share an id — possible when an
+    /// axis sweeps values whose labels round to the same rendering (e.g.
+    /// `cap:160.2, cap:160.4` both label `static-cap-160W`) — because
+    /// downstream lookup (equivalence, migrated call sites) is by id.
+    pub fn expand(&self) -> Result<CampaignPlan, ManifestError> {
+        let mut dims: Vec<usize> = self.axes.iter().map(|a| a.values.len()).collect();
+        dims.push(self.seeds.len()); // seed axis, innermost
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for (index, ix) in gridn_indices(&dims).into_iter().enumerate() {
+            let (&seed_ix, axis_ix) = ix.split_last().expect("dims has the seed axis");
+            let seed = self.seeds[seed_ix];
+            let mut scenario = self.base.clone().with_seed(seed);
+            let mut id = self.name.clone();
+            for (axis, &vi) in self.axes.iter().zip(axis_ix) {
+                let value = &axis.values[vi];
+                axis.knob.apply(&mut scenario, &self.base, value);
+                id.push('/');
+                id.push_str(axis.knob.name());
+                id.push('=');
+                id.push_str(&value.label());
+            }
+            id.push_str(&format!("/seed={seed}"));
+            scenario.name = id.clone();
+            cells.push(CampaignCell {
+                index,
+                id,
+                seed,
+                scenario,
+            });
+        }
+        let mut seen = std::collections::HashSet::with_capacity(cells.len());
+        for c in &cells {
+            if !seen.insert(c.id.as_str()) {
+                return Err(ManifestError {
+                    line: 0,
+                    msg: format!("duplicate cell id `{}` (axis value labels collide)", c.id),
+                });
+            }
+        }
+        Ok(CampaignPlan {
+            name: self.name.clone(),
+            cells,
+        })
+    }
+}
+
+impl CampaignPlan {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan is empty (an axis with zero values).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of *distinct worlds* the plan needs
+    /// (cells grouped by [`Scenario::world_inputs_key`]) — what the
+    /// world-reuse cache caps shard-local world builds at.
+    pub fn distinct_worlds(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|c| c.scenario.world_inputs_key())
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::manifest::{AxisValue, Knob};
+    use super::*;
+    use greener_sched::PolicyKind;
+
+    fn demo_manifest() -> CampaignManifest {
+        CampaignManifest::parse(
+            "name = demo\n\
+             base = quick:4@11\n\
+             seeds = 1..3\n\
+             axis policy = fcfs, easy\n\
+             axis slo_wait_hours = 12, 24\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn expansion_is_row_major_with_seeds_innermost() {
+        let plan = demo_manifest().expand().unwrap();
+        assert_eq!(plan.len(), 2 * 2 * 2);
+        let ids: Vec<&str> = plan.cells.iter().map(|c| c.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "demo/policy=fcfs/slo_wait_hours=12.0/seed=1",
+                "demo/policy=fcfs/slo_wait_hours=12.0/seed=2",
+                "demo/policy=fcfs/slo_wait_hours=24.0/seed=1",
+                "demo/policy=fcfs/slo_wait_hours=24.0/seed=2",
+                "demo/policy=easy-backfill/slo_wait_hours=12.0/seed=1",
+                "demo/policy=easy-backfill/slo_wait_hours=12.0/seed=2",
+                "demo/policy=easy-backfill/slo_wait_hours=24.0/seed=1",
+                "demo/policy=easy-backfill/slo_wait_hours=24.0/seed=2",
+            ]
+        );
+        for (i, c) in plan.cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+            assert_eq!(c.scenario.name, c.id);
+            assert_eq!(c.scenario.seed, c.seed);
+            assert!(!c.id.contains(char::is_whitespace));
+        }
+        // Policy/SLO are replay knobs: one world per seed.
+        assert_eq!(plan.distinct_worlds(), 2);
+    }
+
+    #[test]
+    fn axis_values_are_applied() {
+        let plan = demo_manifest().expand().unwrap();
+        assert_eq!(plan.cells[0].scenario.policy, PolicyKind::Fcfs);
+        assert_eq!(plan.cells[0].scenario.slo_wait_hours, 12.0);
+        assert_eq!(plan.cells[7].scenario.policy, PolicyKind::EasyBackfill);
+        assert_eq!(plan.cells[7].scenario.slo_wait_hours, 24.0);
+        // Base fields not on an axis are untouched.
+        assert_eq!(plan.cells[0].scenario.horizon_hours, 4 * 24);
+    }
+
+    #[test]
+    fn colliding_labels_are_rejected() {
+        let m = CampaignManifest::new("c", Scenario::quick(3, 1)).with_axis(
+            Knob::Policy,
+            vec![
+                AxisValue::Policy(PolicyKind::StaticCap { cap_w: 160.2 }),
+                AxisValue::Policy(PolicyKind::StaticCap { cap_w: 160.4 }),
+            ],
+        );
+        let e = m.expand().unwrap_err();
+        assert!(e.msg.contains("duplicate cell id"), "{e}");
+    }
+
+    #[test]
+    fn world_affecting_axis_grows_distinct_worlds() {
+        let m = CampaignManifest::new("w", Scenario::quick(3, 1))
+            .with_axis(
+                Knob::HorizonDays,
+                vec![AxisValue::Count(3), AxisValue::Count(4)],
+            )
+            .with_axis(
+                Knob::Policy,
+                vec![
+                    AxisValue::Policy(PolicyKind::Fcfs),
+                    AxisValue::Policy(PolicyKind::Sjf),
+                ],
+            );
+        let plan = m.expand().unwrap();
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.distinct_worlds(), 2); // horizon is a world input
+    }
+}

@@ -173,7 +173,7 @@ impl JobRecord {
 }
 
 /// Aggregate job-level statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct JobStats {
     /// Jobs submitted within the horizon.
     pub submitted: usize,

@@ -42,6 +42,7 @@
 
 use greener_sched::PolicyKind;
 
+use crate::campaign::{run_campaign, CampaignPlan, ShardBackend};
 use crate::driver::{JobRecord, SimDriver, World};
 use crate::probe::Observe;
 use crate::scenario::Scenario;
@@ -164,6 +165,55 @@ pub fn assert_runners_equivalent(
     }
 }
 
+/// The campaign axis: pin sharded/merged campaign execution against
+/// straight per-cell runs, at every shard count in `shard_counts`.
+///
+/// For each shard count the plan is executed through `backend` and
+/// merged, then every cell is compared — through
+/// [`assert_runners_equivalent`], the same harness every other axis uses —
+/// against a fresh end-to-end [`fingerprint`] of the cell's scenario
+/// (fresh world, no sharding, no reuse). Cells are looked up in the merged
+/// report by id (the cell id doubles as the scenario name), and the
+/// merged aggregates must match the straight run's energy/carbon **bits**
+/// and completion count. Combined with the artifact layer's bit-exact
+/// float encoding this pins the merge-determinism standing invariant:
+/// shard count and thread count are unobservable in campaign output.
+///
+/// # Panics
+/// On the first cell whose merged result diverges from its straight run,
+/// naming the shard count and cell id.
+pub fn assert_campaign_equivalent(
+    label: &str,
+    plan: &CampaignPlan,
+    backend: &impl ShardBackend,
+    shard_counts: &[usize],
+) {
+    let matrix: Vec<Scenario> = plan.cells.iter().map(|c| c.scenario.clone()).collect();
+    for &shards in shard_counts {
+        let report = run_campaign(plan, backend, shards)
+            .unwrap_or_else(|e| panic!("{label} shards={shards}: {e}"));
+        assert_runners_equivalent(
+            &format!("{label} shards={shards}"),
+            &matrix,
+            fingerprint,
+            |s| {
+                let cell = report
+                    .get(&s.name)
+                    .unwrap_or_else(|| panic!("{label}: cell `{}` missing from report", s.name));
+                Fingerprint {
+                    energy_bits: cell.aggregates.energy_kwh.to_bits(),
+                    carbon_bits: cell.aggregates.carbon_kg.to_bits(),
+                    completed: cell.jobs.completed,
+                    // Aggregate artifacts carry no per-job records;
+                    // record comparison is skipped (one-sided), as with
+                    // the aggregates-only observation axis.
+                    records: None,
+                }
+            },
+        );
+    }
+}
+
 /// The default equivalence matrix: the golden policy families × two seeds
 /// on the 14-day quick world (the grid the driver's golden determinism
 /// test pins to captured constants), named per cell for failure messages.
@@ -237,6 +287,41 @@ mod tests {
                 fingerprint_with_world(&fast, &world)
             },
         );
+    }
+
+    /// The acceptance pin for the campaign layer: for a fixed manifest the
+    /// merged output matches straight per-cell runs bit-for-bit across
+    /// shard counts {1, 2, 8} and `RAYON_NUM_THREADS` {1, 4}. The vendored
+    /// rayon reads the variable per call, and results are pinned
+    /// thread-count-invariant by every engine axis, so toggling it
+    /// in-process is safe.
+    #[test]
+    fn campaign_axis_across_shard_and_thread_counts() {
+        use crate::campaign::{CampaignManifest, InProcessBackend};
+        let plan = CampaignManifest::parse(
+            "name = eqv\n\
+             base = quick:4@3\n\
+             seeds = 3..5\n\
+             axis policy = easy, carbon:0.06\n\
+             axis slo_wait_hours = 12, 24\n",
+        )
+        .unwrap()
+        .expand()
+        .unwrap();
+        let prior = std::env::var("RAYON_NUM_THREADS").ok();
+        for threads in ["1", "4"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            assert_campaign_equivalent(
+                &format!("campaign threads={threads}"),
+                &plan,
+                &InProcessBackend::default(),
+                &[1, 2, 8],
+            );
+        }
+        match prior {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
     }
 
     #[test]

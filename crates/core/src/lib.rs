@@ -59,8 +59,13 @@
 //!   costs (§II-A) and the footprint-estimate-variance analysis (§IV-B).
 //! * [`strategy`] — energy-purchasing strategies: green-window utilization
 //!   shifting and battery storage (§II-A).
+//! * [`campaign`] — the experiment-campaign layer: declarative manifests
+//!   expanding into ordered plans, shard-and-merge execution behind a
+//!   serialization boundary, and world-reuse caching across cells that
+//!   share world inputs.
 //! * [`optimize`] — Eq. 1 (facility-level) and Eq. 2 (per-user) problems
-//!   with a parallel grid-search optimizer.
+//!   with a parallel grid-search optimizer (its grid search expands
+//!   through the campaign planner).
 //! * [`stress`] — the Dodd-Frank-style stress-test harness (§II-B).
 //! * [`trends`] — the Fig. 1 compute-trend dataset and doubling-time fits.
 //! * [`experiments`] — figure/table regeneration (F1–F5, T1).
@@ -68,6 +73,7 @@
 
 pub mod ablations;
 pub mod accounting;
+pub mod campaign;
 pub mod driver;
 pub mod equivalence;
 pub mod experiments;
@@ -79,6 +85,7 @@ pub mod strategy;
 pub mod stress;
 pub mod trends;
 
+pub use campaign::{CampaignManifest, CampaignPlan, CampaignReport};
 pub use driver::{JobStats, RunResult, SimDriver};
 pub use probe::{Observe, RunAggregates, RunOutput};
 pub use profile::ReplayProfile;

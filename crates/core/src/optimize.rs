@@ -16,6 +16,7 @@ use greener_workload::UserId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+use crate::campaign::{run_campaign, AxisValue, CampaignManifest, InProcessBackend, Knob};
 use crate::driver::{JobStats, RunResult, SimDriver, World};
 use crate::probe::{Observe, RunAggregates};
 use crate::scenario::Scenario;
@@ -141,16 +142,52 @@ impl Eq1Problem {
 
     /// Evaluate a decision grid in parallel and return all cells plus the
     /// feasible argmin (None if no cell meets the α floor).
+    ///
+    /// The grid expands through the campaign planner
+    /// ([`CampaignManifest`] with a `qs_mult` axis outer and a `policy`
+    /// axis inner — the same row-major order `grid2` produced) and runs
+    /// one cell per shard, preserving the historical per-cell parallelism
+    /// and bit-identical outputs (the campaign equivalence axis pins
+    /// sharded execution against straight runs; a unit test additionally
+    /// pins this entry point against [`Eq1Problem::evaluate`] bit-for-bit).
+    /// Axis values must be distinct — duplicated grid values would
+    /// collide on cell ids.
     pub fn grid_search(
         &self,
         qs_mults: &[f64],
         policies: &[PolicyKind],
     ) -> (Vec<EvaluatedPoint>, Option<EvaluatedPoint>) {
-        let grid: Vec<DecisionPoint> = greener_simkit::sweep::grid2(qs_mults, policies)
-            .into_iter()
-            .map(|(qs_mult, policy)| DecisionPoint { qs_mult, policy })
+        if qs_mults.is_empty() || policies.is_empty() {
+            return (Vec::new(), None);
+        }
+        let manifest = CampaignManifest::new("eq1-grid", self.base.clone())
+            .with_axis(
+                Knob::QsMult,
+                qs_mults.iter().map(|&m| AxisValue::Real(m)).collect(),
+            )
+            .with_axis(
+                Knob::Policy,
+                policies.iter().map(|&p| AxisValue::Policy(p)).collect(),
+            );
+        let plan = manifest
+            .expand()
+            .unwrap_or_else(|e| panic!("Eq. 1 grid must expand cleanly: {e}"));
+        let report = run_campaign(&plan, &InProcessBackend::default(), plan.len())
+            .unwrap_or_else(|e| panic!("in-process shards must merge: {e}"));
+        let cells: Vec<EvaluatedPoint> = report
+            .cells
+            .iter()
+            .zip(greener_simkit::sweep::grid2(qs_mults, policies))
+            .map(|(cell, (qs_mult, policy))| {
+                let activity = self.activity.of(&cell.jobs);
+                EvaluatedPoint {
+                    point: DecisionPoint { qs_mult, policy },
+                    energy: self.objective.of(&cell.aggregates),
+                    activity,
+                    feasible: activity >= self.alpha,
+                }
+            })
             .collect();
-        let cells = greener_simkit::sweep::run(&grid, |p| self.evaluate(*p));
         let best = cells
             .iter()
             .filter(|c| c.feasible)
@@ -285,6 +322,41 @@ mod tests {
             .find(|c| c.point.qs_mult == 1.0 && c.point.policy == PolicyKind::EasyBackfill)
             .unwrap();
         assert!(best.energy < nominal.energy);
+    }
+
+    /// The campaign-planner migration must be invisible: grid cells come
+    /// back in the historical `grid2` order with bit-identical
+    /// energy/activity to a straight [`Eq1Problem::evaluate`] loop.
+    #[test]
+    fn grid_search_matches_direct_evaluation_bitwise() {
+        let problem = quick_problem();
+        let qs_mults = [0.75, 1.0];
+        let policies = [
+            PolicyKind::EasyBackfill,
+            PolicyKind::StaticCap { cap_w: 150.0 },
+            PolicyKind::Fcfs,
+        ];
+        let (cells, _) = problem.grid_search(&qs_mults, &policies);
+        let direct: Vec<EvaluatedPoint> = greener_simkit::sweep::grid2(&qs_mults, &policies)
+            .into_iter()
+            .map(|(qs_mult, policy)| problem.evaluate(DecisionPoint { qs_mult, policy }))
+            .collect();
+        assert_eq!(cells.len(), direct.len());
+        for (c, d) in cells.iter().zip(&direct) {
+            assert_eq!(c.point, d.point);
+            assert_eq!(c.energy.to_bits(), d.energy.to_bits(), "{:?}", c.point);
+            assert_eq!(c.activity.to_bits(), d.activity.to_bits(), "{:?}", c.point);
+            assert_eq!(c.feasible, d.feasible);
+        }
+    }
+
+    #[test]
+    fn grid_search_on_empty_axes_is_empty() {
+        let problem = quick_problem();
+        let (cells, best) = problem.grid_search(&[], &[PolicyKind::Fcfs]);
+        assert!(cells.is_empty() && best.is_none());
+        let (cells, best) = problem.grid_search(&[1.0], &[]);
+        assert!(cells.is_empty() && best.is_none());
     }
 
     #[test]

@@ -291,6 +291,42 @@ impl Scenario {
         self.deadline_policy.apply(&ConferenceCalendar::table_i())
     }
 
+    /// Stable key over everything that feeds `World::build`: the seed,
+    /// start date, horizon, the weather/grid/trace configurations, the
+    /// deadline policy (it reshapes the calendar the trace generator
+    /// samples) and the cluster's total GPU count (gang sizes are capped
+    /// at it, baked into the trace). Policy/dispatch/apply/backfill/
+    /// observation knobs and the [`WorldGen`] schedule are deliberately
+    /// excluded — they cannot change a world bit (the schedule is pinned
+    /// bit-identical by the equivalence harness).
+    ///
+    /// Two scenarios with equal keys build **bit-identical** worlds, so a
+    /// campaign shard may build the world once and replay every matching
+    /// cell over it (the world-reuse cache in `crate::campaign`). The key
+    /// is the `Debug` rendering of the world-input fields, which is
+    /// injective for this purpose: `f64`'s `Debug` is the
+    /// shortest-roundtrip form, so distinct finite values never collide.
+    pub fn world_inputs_key(&self) -> String {
+        format!(
+            "seed={} start={:?} hours={} gpus={} weather={:?} grid={:?} trace={:?} deadline={:?}",
+            self.seed,
+            self.start,
+            self.horizon_hours,
+            self.cluster.total_gpus(),
+            self.weather,
+            self.grid,
+            self.trace,
+            self.deadline_policy,
+        )
+    }
+
+    /// 64-bit digest of [`Scenario::world_inputs_key`] for compact
+    /// display/grouping. Cache lookups compare the full key, never this
+    /// digest, so hash collisions cannot alias two different worlds.
+    pub fn world_fingerprint(&self) -> u64 {
+        greener_simkit::rng::fnv1a(self.world_inputs_key().as_bytes())
+    }
+
     /// Builder-style: replace the scheduling policy.
     #[must_use]
     pub fn with_policy(mut self, policy: PolicyKind) -> Scenario {
@@ -452,6 +488,44 @@ mod tests {
     fn scenario_satisfies_serde_bounds() {
         fn assert_serde<T: Serialize + for<'de> Deserialize<'de>>() {}
         assert_serde::<Scenario>();
+    }
+
+    #[test]
+    fn world_key_separates_world_inputs_from_policy_knobs() {
+        let base = Scenario::quick(5, 9);
+        // Replay-side knobs must not perturb the key: same world, many
+        // policies — this is what makes a policy-only campaign share one
+        // world per seed.
+        let policy_only = base
+            .clone()
+            .with_policy(PolicyKind::Fcfs)
+            .with_forecast(ForecastMode::Naive)
+            .with_scheduler(SchedulerCore::Heap)
+            .with_worldgen(WorldGen::Sequential)
+            .with_dispatch(DispatchPath::Reference)
+            .with_apply(ApplyPath::Reference)
+            .with_backfill(BackfillPath::Reference)
+            .named("renamed");
+        assert_eq!(base.world_inputs_key(), policy_only.world_inputs_key());
+        assert_eq!(base.world_fingerprint(), policy_only.world_fingerprint());
+        // World-side inputs must perturb it.
+        assert_ne!(
+            base.world_inputs_key(),
+            base.clone().with_seed(10).world_inputs_key()
+        );
+        assert_ne!(
+            base.world_inputs_key(),
+            base.clone().with_horizon_days(6).world_inputs_key()
+        );
+        assert_ne!(
+            base.world_inputs_key(),
+            base.clone()
+                .with_deadline_policy(DeadlinePolicy::Rolling)
+                .world_inputs_key()
+        );
+        let mut bigger = base.clone();
+        bigger.cluster.nodes += 1;
+        assert_ne!(base.world_inputs_key(), bigger.world_inputs_key());
     }
 
     #[test]

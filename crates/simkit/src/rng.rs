@@ -20,8 +20,10 @@ pub fn splitmix64(mut z: u64) -> u64 {
 }
 
 /// FNV-1a hash of a byte string (stable across platforms and compiles).
+/// Used for stream-name seeding here and for content fingerprints (e.g.
+/// world-input keys in `greener-core`'s campaign layer) elsewhere.
 #[inline]
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= b as u64;

@@ -31,6 +31,24 @@
 //!   even for cells that derive their workload from the scenario's own
 //!   seed (paired comparisons pass the *same* scenario seed to every cell
 //!   and ignore the per-cell hub; independent-replication designs use it).
+//!
+//! # The campaign layer above the sweep
+//!
+//! `greener-core`'s `campaign` module sits on top of this module as the
+//! *experiment-batch* level: a declarative manifest (base scenario + named
+//! axes × values + seed ranges) expands through [`gridn_indices`] into an
+//! ordered plan of cells with stable ids, the plan is partitioned into
+//! contiguous shards, each shard runs independently (fanning out across
+//! threads via [`run`], each cell replaying through the aggregates-only
+//! observation fast path, with worlds reused across cells whose
+//! world-inputs fingerprints match), and the per-shard serialized
+//! aggregate artifacts are merged back in cell-id order. The merge rule is
+//! a standing invariant: the merged report is **bit-identical for every
+//! shard count and every `RAYON_NUM_THREADS`**, because each cell's result
+//! is a pure function of its scenario, shards partition the plan, and the
+//! merge orders by cell id — never by completion order. The campaign axis
+//! in `greener-core::equivalence` pins sharded/merged execution against
+//! straight per-cell runs.
 
 use crate::rng::RngHub;
 use rayon::prelude::*;
@@ -74,28 +92,82 @@ where
         .collect()
 }
 
-/// Cartesian product of two axes, row-major (`a` outer, `b` inner).
-pub fn grid2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
-    let mut out = Vec::with_capacity(a.len() * b.len());
-    for x in a {
-        for y in b {
-            out.push((x.clone(), y.clone()));
+/// Row-major index tuples for an N-dimensional grid with axis lengths
+/// `dims` — the single source of cartesian-product order in this
+/// workspace: the **first** axis is outermost (slowest), the **last** is
+/// innermost (fastest), exactly like nested `for` loops in declaration
+/// order. [`grid2`], [`grid3`] and [`gridn`] are all defined over it, and
+/// `greener-core`'s campaign plan expander walks it to assign stable cell
+/// indices.
+///
+/// `dims` containing a zero yields an empty product; an empty `dims`
+/// yields the one empty tuple (the nullary product).
+pub fn gridn_indices(dims: &[usize]) -> Vec<Vec<usize>> {
+    if dims.is_empty() {
+        return vec![Vec::new()];
+    }
+    let total: usize = dims.iter().product();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; dims.len()];
+    loop {
+        out.push(idx.clone());
+        // Odometer increment, last axis fastest.
+        let mut k = dims.len() - 1;
+        loop {
+            idx[k] += 1;
+            if idx[k] < dims[k] {
+                break;
+            }
+            idx[k] = 0;
+            if k == 0 {
+                return out;
+            }
+            k -= 1;
         }
     }
-    out
+}
+
+/// Cartesian product of N homogeneous axes, row-major (first axis
+/// outermost). This is the N-ary generalization manifest-driven sweeps
+/// expand through; prefer it (or [`gridn_indices`] for heterogeneous
+/// axes) over chaining [`grid2`]/[`grid3`] in new call sites.
+pub fn gridn<T: Clone>(axes: &[Vec<T>]) -> Vec<Vec<T>> {
+    let dims: Vec<usize> = axes.iter().map(Vec::len).collect();
+    gridn_indices(&dims)
+        .into_iter()
+        .map(|ix| {
+            ix.iter()
+                .zip(axes)
+                .map(|(&i, axis)| axis[i].clone())
+                .collect()
+        })
+        .collect()
+}
+
+/// Cartesian product of two axes, row-major (`a` outer, `b` inner).
+///
+/// Fixed-arity convenience over [`gridn_indices`]; new N-axis call sites
+/// should use [`gridn`]/[`gridn_indices`] directly (this survives for
+/// existing two-axis tuples only).
+pub fn grid2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    gridn_indices(&[a.len(), b.len()])
+        .into_iter()
+        .map(|ix| (a[ix[0]].clone(), b[ix[1]].clone()))
+        .collect()
 }
 
 /// Cartesian product of three axes, row-major.
+///
+/// Fixed-arity convenience over [`gridn_indices`]; like [`grid2`], prefer
+/// [`gridn`]/[`gridn_indices`] for new call sites.
 pub fn grid3<A: Clone, B: Clone, C: Clone>(a: &[A], b: &[B], c: &[C]) -> Vec<(A, B, C)> {
-    let mut out = Vec::with_capacity(a.len() * b.len() * c.len());
-    for x in a {
-        for y in b {
-            for z in c {
-                out.push((x.clone(), y.clone(), z.clone()));
-            }
-        }
-    }
-    out
+    gridn_indices(&[a.len(), b.len(), c.len()])
+        .into_iter()
+        .map(|ix| (a[ix[0]].clone(), b[ix[1]].clone(), c[ix[2]].clone()))
+        .collect()
 }
 
 /// Inclusive linearly spaced axis with `n ≥ 2` points.
@@ -152,11 +224,84 @@ mod tests {
     }
 
     #[test]
+    fn gridn_indices_degenerate_cases() {
+        // Nullary product: one empty tuple.
+        assert_eq!(gridn_indices(&[]), vec![Vec::<usize>::new()]);
+        // Any zero-length axis empties the product.
+        assert!(gridn_indices(&[2, 0, 3]).is_empty());
+        // One axis: the identity walk.
+        assert_eq!(gridn_indices(&[3]), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn gridn_matches_nested_loops() {
+        let axes = vec![vec!["a", "b"], vec!["x", "y", "z"]];
+        let got = gridn(&axes);
+        let mut want = Vec::new();
+        for p in &axes[0] {
+            for q in &axes[1] {
+                want.push(vec![*p, *q]);
+            }
+        }
+        assert_eq!(got, want);
+        // grid2/grid3 are defined over the same index walk.
+        let g2 = grid2(&axes[0], &axes[1]);
+        for (t, v) in g2.iter().zip(&got) {
+            assert_eq!(vec![t.0, t.1], *v);
+        }
+    }
+
+    #[test]
     fn linspace_endpoints() {
         let xs = linspace(100.0, 250.0, 4);
         assert_eq!(xs.len(), 4);
         assert!((xs[0] - 100.0).abs() < 1e-12);
         assert!((xs[3] - 250.0).abs() < 1e-12);
         assert!((xs[1] - 150.0).abs() < 1e-12);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// `gridn_indices` is the row-major (lexicographic) walk of the
+            /// index space: its length is the product of the axis lengths
+            /// and the tuple at flat position `i` is the mixed-radix
+            /// decomposition of `i` (last axis fastest).
+            #[test]
+            fn gridn_indices_is_row_major(dims in proptest::collection::vec(1usize..5, 1..5)) {
+                let grid = gridn_indices(&dims);
+                let total: usize = dims.iter().product();
+                prop_assert_eq!(grid.len(), total);
+                for (flat, tuple) in grid.iter().enumerate() {
+                    prop_assert_eq!(tuple.len(), dims.len());
+                    // Mixed-radix decomposition of the flat index.
+                    let mut rem = flat;
+                    for (k, &d) in dims.iter().enumerate().rev() {
+                        prop_assert_eq!(tuple[k], rem % d);
+                        rem /= d;
+                    }
+                    prop_assert_eq!(rem, 0);
+                }
+            }
+
+            /// `gridn` agrees with chaining the fixed-arity products.
+            #[test]
+            fn gridn_agrees_with_grid3(
+                a in proptest::collection::vec(0u8..100, 1..4),
+                b in proptest::collection::vec(0u8..100, 1..4),
+                c in proptest::collection::vec(0u8..100, 1..4),
+            ) {
+                let axes = vec![a.clone(), b.clone(), c.clone()];
+                let n = gridn(&axes);
+                let fixed = grid3(&a, &b, &c);
+                prop_assert_eq!(n.len(), fixed.len());
+                for (v, (x, y, z)) in n.iter().zip(fixed) {
+                    prop_assert_eq!(v.as_slice(), &[x, y, z]);
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,86 @@
+//! Integration tests for the campaign layer, driven from outside the core
+//! crate the way batch call sites use it: text manifest → plan →
+//! shard-and-merge execution → merged report. The byte-identity test here
+//! is the CI campaign smoke: a tiny manifest (2 axes × 2 values × 2
+//! seeds) through the shard runner at two shard counts, merged artifacts
+//! compared byte for byte.
+
+use greener_world::core::campaign::{
+    merge_artifacts, partition, run_campaign, CampaignManifest, InProcessBackend, ShardBackend,
+};
+use greener_world::core::equivalence;
+
+/// The CI smoke manifest: 2 axes × 2 values × 2 seeds = 8 cells on a
+/// 3-day quick world.
+const SMOKE_MANIFEST: &str = "\
+# Campaign smoke: policy × SLO over two seeds.
+name  = smoke
+base  = quick:3@17
+seeds = 17, 18
+axis policy = easy, carbon:0.06
+axis slo_wait_hours = 12, 24
+";
+
+#[test]
+fn smoke_manifest_merges_byte_identical_across_shard_counts() {
+    let plan = CampaignManifest::parse(SMOKE_MANIFEST)
+        .expect("smoke manifest parses")
+        .expand()
+        .expect("smoke manifest expands");
+    assert_eq!(plan.len(), 8);
+    // Policy and SLO are replay knobs; only the seed axis splits worlds.
+    assert_eq!(plan.distinct_worlds(), 2);
+
+    let backend = InProcessBackend::default();
+    let two = run_campaign(&plan, &backend, 2).expect("2 shards merge");
+    let five = run_campaign(&plan, &backend, 5).expect("5 shards merge");
+    assert_eq!(
+        two.to_text(),
+        five.to_text(),
+        "merged campaign artifacts must be byte-identical across shard counts"
+    );
+
+    // The merged report surfaces real aggregates for every cell.
+    for cell in &two.cells {
+        assert!(cell.aggregates.energy_kwh > 0.0, "{}", cell.id);
+        assert!(cell.jobs.completed > 0, "{}", cell.id);
+    }
+}
+
+/// Artifacts really are the serialization boundary: running shards by
+/// hand, shipping only their text, and merging reproduces `run_campaign`
+/// byte for byte — the drop-in seam a process-per-shard backend will use.
+#[test]
+fn hand_carried_artifacts_reproduce_run_campaign() {
+    let plan = CampaignManifest::parse(SMOKE_MANIFEST)
+        .unwrap()
+        .expand()
+        .unwrap();
+    let backend = InProcessBackend::default();
+    let artifacts: Vec<_> = partition(plan.len(), 3)
+        .iter()
+        .map(|spec| backend.run_shard(&plan, spec))
+        .collect();
+    let merged = merge_artifacts(&plan, &artifacts).expect("hand-carried artifacts merge");
+    let direct = run_campaign(&plan, &backend, 3).expect("direct run merges");
+    assert_eq!(merged.to_text(), direct.to_text());
+}
+
+/// The campaign equivalence axis, exercised from outside the crate: the
+/// merged output matches straight per-cell runs at several shard counts,
+/// with and without world reuse.
+#[test]
+fn campaign_axis_holds_from_downstream() {
+    let plan = CampaignManifest::parse(SMOKE_MANIFEST)
+        .unwrap()
+        .expand()
+        .unwrap();
+    for world_reuse in [true, false] {
+        equivalence::assert_campaign_equivalent(
+            &format!("downstream campaign (reuse={world_reuse})"),
+            &plan,
+            &InProcessBackend { world_reuse },
+            &[1, 3, 8],
+        );
+    }
+}
