@@ -50,13 +50,22 @@
 //! record. This is the "profile before picking" instrument behind
 //! ROADMAP's replay-remainder work.
 
+use greener_bench::cli;
 use greener_bench::scenarios::{campaign_small, dispatch_burst_7d, dispatch_heavy_90d};
-use greener_core::campaign::{run_campaign, InProcessBackend};
+use greener_core::campaign::process::{
+    artifact_file_name, marker_file_name, FaultMode, FaultPlan, ProcessBackend, SupervisorConfig,
+    WorkerCommand,
+};
+use greener_core::campaign::{
+    partition, run_campaign, CampaignManifest, InProcessBackend, ShardBackend,
+};
 use greener_core::driver::{SimDriver, World};
 use greener_core::probe::Observe;
 use greener_core::profile::{ProfileCounter, ProfilePhase, ProfileSubPhase, ReplayProfile};
 use greener_core::scenario::Scenario;
-use std::time::Instant;
+use greener_simkit::proc::write_atomic;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 struct Measurement {
     name: &'static str,
@@ -278,12 +287,128 @@ fn time_campaign(min_runs: usize, budget_secs: f64) -> CampaignMeasurement {
     }
 }
 
+/// `perfjson campaign-worker`: the process spawned per shard by
+/// [`ProcessBackend`]. Re-expands the manifest, runs its shard
+/// in-process, and publishes artifact then marker (both atomically).
+/// Honors `GREENER_FAULT` + `GREENER_WORKER_ATTEMPT` for deterministic
+/// fault injection: `crash`/`hang` fire *before* the manifest is read
+/// (simulating a worker that dies before any useful work),
+/// `corrupt`/`truncate` damage the artifact text just before publication
+/// — with the marker still written, so only validation can catch them.
+fn run_worker(args: &cli::WorkerArgs) {
+    let die = |msg: String| -> ! {
+        eprintln!("campaign-worker: {msg}");
+        std::process::exit(2);
+    };
+    let attempt: u32 = std::env::var("GREENER_WORKER_ATTEMPT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let faults = FaultPlan::from_env().unwrap_or_else(|e| die(e));
+    let fault = faults.fault_for(args.shard, attempt);
+    match fault {
+        Some(FaultMode::Crash) => {
+            eprintln!(
+                "campaign-worker: injected crash (shard {}, attempt {attempt})",
+                args.shard
+            );
+            std::process::exit(3);
+        }
+        Some(FaultMode::Hang) => loop {
+            std::thread::sleep(Duration::from_millis(100));
+        },
+        _ => {}
+    }
+    let manifest_text = std::fs::read_to_string(&args.manifest)
+        .unwrap_or_else(|e| die(format!("read manifest `{}`: {e}", args.manifest)));
+    let plan = CampaignManifest::parse(&manifest_text)
+        .unwrap_or_else(|e| die(e.to_string()))
+        .expand()
+        .unwrap_or_else(|e| die(e.to_string()));
+    if args.shard >= args.of {
+        die(format!("shard {} out of range 0..{}", args.shard, args.of));
+    }
+    let spec = partition(plan.len(), args.of)[args.shard];
+    let artifact = InProcessBackend::default().run_shard(&plan, &spec);
+    let mut text = artifact.text;
+    if let Some(mode) = fault {
+        mode.mangle(&mut text);
+        eprintln!(
+            "campaign-worker: injected {mode:?} (shard {}, attempt {attempt})",
+            args.shard
+        );
+    }
+    let dir = Path::new(&args.dir);
+    write_atomic(
+        &dir.join(artifact_file_name(args.shard, args.of)),
+        text.as_bytes(),
+    )
+    .unwrap_or_else(|e| die(format!("publish artifact: {e}")));
+    write_atomic(&dir.join(marker_file_name(args.shard, args.of)), b"ok\n")
+        .unwrap_or_else(|e| die(format!("publish marker: {e}")));
+}
+
+/// `perfjson campaign`: the supervised process-per-shard driver. Spawns
+/// this same binary in `campaign-worker` mode per shard, prints the
+/// byte-stable merged report followed by the diagnostic run report, and
+/// with `--check` compares the merged text against a clean in-process
+/// run (exit 1 on divergence). A `GREENER_FAULT` spec in the driver's
+/// environment is forwarded to workers through the supervisor config.
+fn run_campaign_cmd(args: &cli::CampaignArgs) {
+    let die = |msg: String| -> ! {
+        eprintln!("campaign: {msg}");
+        std::process::exit(2);
+    };
+    let manifest_text = std::fs::read_to_string(&args.manifest)
+        .unwrap_or_else(|e| die(format!("read manifest `{}`: {e}", args.manifest)));
+    let program = std::env::current_exe().unwrap_or_else(|e| die(format!("current_exe: {e}")));
+    let worker = WorkerCommand {
+        program,
+        args: vec!["campaign-worker".into()],
+    };
+    let config = SupervisorConfig {
+        timeout: Duration::from_millis(args.timeout_ms),
+        max_attempts: args.max_attempts.max(1),
+        resume: args.resume,
+        fault: std::env::var("GREENER_FAULT")
+            .ok()
+            .filter(|s| !s.is_empty()),
+        ..SupervisorConfig::default()
+    };
+    let backend = ProcessBackend::new(&manifest_text, worker, &args.dir, config)
+        .unwrap_or_else(|e| die(e.to_string()));
+    let (report, run) = backend
+        .run_supervised(args.shards)
+        .unwrap_or_else(|e| die(e.to_string()));
+    print!("{}", report.to_text());
+    print!("{}", run.to_text());
+    if args.check {
+        let reference = run_campaign(backend.plan(), &InProcessBackend::default(), 1)
+            .unwrap_or_else(|e| die(e.to_string()))
+            .to_text();
+        let identical = reference == report.to_text();
+        println!("process_report_identical_in_process {identical}");
+        if !identical {
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match greener_bench::cli::parse(&args) {
-        Ok(Some(parsed)) => parsed,
+    let parsed = match cli::parse_command(&args) {
+        Ok(Some(cli::Command::Perf(parsed))) => parsed,
+        Ok(Some(cli::Command::Worker(w))) => return run_worker(&w),
+        Ok(Some(cli::Command::Campaign(c))) => return run_campaign_cmd(&c),
         Ok(None) => {
-            print!("{}", greener_bench::cli::USAGE);
+            print!(
+                "{}",
+                match args.first().map(String::as_str) {
+                    Some("campaign-worker") => cli::WORKER_USAGE,
+                    Some("campaign") => cli::CAMPAIGN_USAGE,
+                    _ => cli::USAGE,
+                }
+            );
             return;
         }
         Err(err) => {

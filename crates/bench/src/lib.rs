@@ -94,6 +94,199 @@ pub mod cli {
         Ok(Some(parsed))
     }
 
+    /// A parsed `perfjson` invocation: the classic measurement mode, the
+    /// campaign-worker mode spawned by
+    /// `greener_core::campaign::process::ProcessBackend`, or the
+    /// supervised campaign driver.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum Command {
+        /// Measurement lanes (the default, no subcommand).
+        Perf(PerfArgs),
+        /// `perfjson campaign-worker …`: run one shard and publish its
+        /// artifact + marker into the artifact directory.
+        Worker(WorkerArgs),
+        /// `perfjson campaign …`: supervise a whole campaign
+        /// process-per-shard.
+        Campaign(CampaignArgs),
+    }
+
+    /// `perfjson campaign-worker` arguments (all required; the supervisor
+    /// always passes the full set).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct WorkerArgs {
+        /// Manifest file to re-expand.
+        pub manifest: String,
+        /// Shard ordinal to run.
+        pub shard: usize,
+        /// Total shard count.
+        pub of: usize,
+        /// Artifact directory to publish into.
+        pub dir: String,
+    }
+
+    /// `perfjson campaign` arguments.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct CampaignArgs {
+        /// Manifest file describing the campaign.
+        pub manifest: String,
+        /// Shard count (workers spawned).
+        pub shards: usize,
+        /// Artifact directory.
+        pub dir: String,
+        /// Per-shard wall-clock budget, milliseconds.
+        pub timeout_ms: u64,
+        /// Maximum attempts per shard.
+        pub max_attempts: u32,
+        /// Also run the campaign in-process and compare the merged
+        /// reports byte for byte.
+        pub check: bool,
+        /// Skip shards with valid existing artifacts (`--no-resume`
+        /// clears it).
+        pub resume: bool,
+    }
+
+    /// Usage text for the `campaign-worker` subcommand.
+    pub const WORKER_USAGE: &str = "usage: perfjson campaign-worker --manifest <file> \
+        --shard <i> --of <k> --dir <dir>\n\
+        \n\
+        Runs one campaign shard in-process and publishes its artifact and\n\
+        completion marker into <dir>. Honors GREENER_FAULT (see\n\
+        greener_core::campaign::process::FaultPlan) and\n\
+        GREENER_WORKER_ATTEMPT for deterministic fault injection.\n";
+
+    /// Usage text for the `campaign` subcommand.
+    pub const CAMPAIGN_USAGE: &str = "usage: perfjson campaign --manifest <file> \
+        --shards <k> --dir <dir>\n\
+        \x20        [--timeout-ms <ms>] [--max-attempts <n>] [--check] [--no-resume]\n\
+        \n\
+        \x20 --manifest      campaign manifest file\n\
+        \x20 --shards        shard count (one worker process per shard)\n\
+        \x20 --dir           artifact directory (manifest copy, shard artifacts, markers)\n\
+        \x20 --timeout-ms    per-shard wall-clock budget (default 120000)\n\
+        \x20 --max-attempts  attempts per shard before giving up (default 3)\n\
+        \x20 --check         also run in-process and compare the merged reports\n\
+        \x20 --no-resume     re-run every shard even if a valid artifact exists\n";
+
+    /// Take the value following flag `flag` from the iterator.
+    fn take_value<'a, S: AsRef<str>>(
+        flag: &str,
+        it: &mut std::slice::Iter<'a, S>,
+        usage: &str,
+    ) -> Result<&'a str, String> {
+        match it.next() {
+            Some(v) => Ok(v.as_ref()),
+            None => Err(format!("flag `{flag}` needs a value\n{usage}")),
+        }
+    }
+
+    fn parse_worker<S: AsRef<str>>(args: &[S]) -> Result<Option<WorkerArgs>, String> {
+        let (mut manifest, mut shard, mut of, mut dir) = (None, None, None, None);
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_ref() {
+                "--manifest" => {
+                    manifest = Some(take_value("--manifest", &mut it, WORKER_USAGE)?.to_string())
+                }
+                "--shard" => {
+                    let v = take_value("--shard", &mut it, WORKER_USAGE)?;
+                    shard = Some(
+                        v.parse::<usize>()
+                            .map_err(|_| format!("bad --shard `{v}`\n{WORKER_USAGE}"))?,
+                    );
+                }
+                "--of" => {
+                    let v = take_value("--of", &mut it, WORKER_USAGE)?;
+                    of = Some(
+                        v.parse::<usize>()
+                            .map_err(|_| format!("bad --of `{v}`\n{WORKER_USAGE}"))?,
+                    );
+                }
+                "--dir" => dir = Some(take_value("--dir", &mut it, WORKER_USAGE)?.to_string()),
+                "--help" | "-h" => return Ok(None),
+                unknown => return Err(format!("unknown flag `{unknown}`\n{WORKER_USAGE}")),
+            }
+        }
+        match (manifest, shard, of, dir) {
+            (Some(manifest), Some(shard), Some(of), Some(dir)) => Ok(Some(WorkerArgs {
+                manifest,
+                shard,
+                of,
+                dir,
+            })),
+            _ => Err(format!(
+                "campaign-worker needs --manifest, --shard, --of and --dir\n{WORKER_USAGE}"
+            )),
+        }
+    }
+
+    fn parse_campaign<S: AsRef<str>>(args: &[S]) -> Result<Option<CampaignArgs>, String> {
+        let (mut manifest, mut shards, mut dir) = (None, None, None);
+        let (mut timeout_ms, mut max_attempts) = (120_000u64, 3u32);
+        let (mut check, mut resume) = (false, true);
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_ref() {
+                "--manifest" => {
+                    manifest = Some(take_value("--manifest", &mut it, CAMPAIGN_USAGE)?.to_string())
+                }
+                "--shards" => {
+                    let v = take_value("--shards", &mut it, CAMPAIGN_USAGE)?;
+                    let k = v
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad --shards `{v}`\n{CAMPAIGN_USAGE}"))?;
+                    if k == 0 {
+                        return Err(format!("--shards must be positive\n{CAMPAIGN_USAGE}"));
+                    }
+                    shards = Some(k);
+                }
+                "--dir" => dir = Some(take_value("--dir", &mut it, CAMPAIGN_USAGE)?.to_string()),
+                "--timeout-ms" => {
+                    let v = take_value("--timeout-ms", &mut it, CAMPAIGN_USAGE)?;
+                    timeout_ms = v
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad --timeout-ms `{v}`\n{CAMPAIGN_USAGE}"))?;
+                }
+                "--max-attempts" => {
+                    let v = take_value("--max-attempts", &mut it, CAMPAIGN_USAGE)?;
+                    max_attempts = v
+                        .parse::<u32>()
+                        .map_err(|_| format!("bad --max-attempts `{v}`\n{CAMPAIGN_USAGE}"))?;
+                }
+                "--check" => check = true,
+                "--no-resume" => resume = false,
+                "--help" | "-h" => return Ok(None),
+                unknown => return Err(format!("unknown flag `{unknown}`\n{CAMPAIGN_USAGE}")),
+            }
+        }
+        match (manifest, shards, dir) {
+            (Some(manifest), Some(shards), Some(dir)) => Ok(Some(CampaignArgs {
+                manifest,
+                shards,
+                dir,
+                timeout_ms,
+                max_attempts,
+                check,
+                resume,
+            })),
+            _ => Err(format!(
+                "campaign needs --manifest, --shards and --dir\n{CAMPAIGN_USAGE}"
+            )),
+        }
+    }
+
+    /// Parse a full `perfjson` argument list, dispatching on an optional
+    /// leading subcommand (`campaign-worker`, `campaign`); anything else
+    /// goes through the classic strict flag parser. `Ok(None)` means help
+    /// was requested (the appropriate usage text was chosen by the
+    /// caller's subcommand).
+    pub fn parse_command<S: AsRef<str>>(args: &[S]) -> Result<Option<Command>, String> {
+        match args.first().map(AsRef::as_ref) {
+            Some("campaign-worker") => Ok(parse_worker(&args[1..])?.map(Command::Worker)),
+            Some("campaign") => Ok(parse_campaign(&args[1..])?.map(Command::Campaign)),
+            _ => Ok(parse(args)?.map(Command::Perf)),
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -127,6 +320,97 @@ pub mod cli {
             assert_eq!(parse(&["-h"]).unwrap(), None);
             // …even alongside other flags.
             assert_eq!(parse(&["--smoke", "--help"]).unwrap(), None);
+        }
+
+        #[test]
+        fn command_dispatches_on_leading_subcommand() {
+            // No subcommand → classic perf flags.
+            match parse_command(&["--smoke"]).unwrap().unwrap() {
+                Command::Perf(a) => assert!(a.smoke),
+                other => panic!("expected Perf, got {other:?}"),
+            }
+            // Worker: all four flags required, any order.
+            let cmd = parse_command(&[
+                "campaign-worker",
+                "--shard",
+                "2",
+                "--of",
+                "5",
+                "--manifest",
+                "m.campaign",
+                "--dir",
+                "art",
+            ])
+            .unwrap()
+            .unwrap();
+            assert_eq!(
+                cmd,
+                Command::Worker(WorkerArgs {
+                    manifest: "m.campaign".into(),
+                    shard: 2,
+                    of: 5,
+                    dir: "art".into(),
+                })
+            );
+            // Campaign: defaults fill in.
+            let cmd = parse_command(&[
+                "campaign",
+                "--manifest",
+                "m.campaign",
+                "--shards",
+                "4",
+                "--dir",
+                "art",
+                "--check",
+            ])
+            .unwrap()
+            .unwrap();
+            match cmd {
+                Command::Campaign(a) => {
+                    assert_eq!((a.shards, a.timeout_ms, a.max_attempts), (4, 120_000, 3));
+                    assert!(a.check && a.resume);
+                }
+                other => panic!("expected Campaign, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn subcommands_reject_bad_or_missing_args() {
+            // Missing required flags.
+            let e = parse_command(&["campaign-worker", "--shard", "0"]).unwrap_err();
+            assert!(e.contains("needs --manifest"), "{e}");
+            let e = parse_command(&["campaign", "--manifest", "m"]).unwrap_err();
+            assert!(e.contains("needs --manifest, --shards"), "{e}");
+            // Unknown and malformed flags.
+            assert!(parse_command(&["campaign", "--shard", "1"]).is_err());
+            assert!(parse_command(&["campaign-worker", "--shard", "x"]).is_err());
+            assert!(
+                parse_command(&["campaign", "--manifest", "m", "--shards", "0", "--dir", "d"])
+                    .is_err()
+            );
+            // Dangling value.
+            let e = parse_command(&["campaign", "--manifest"]).unwrap_err();
+            assert!(e.contains("needs a value"), "{e}");
+            // --no-resume clears resume.
+            match parse_command(&[
+                "campaign",
+                "--manifest",
+                "m",
+                "--shards",
+                "2",
+                "--dir",
+                "d",
+                "--no-resume",
+            ])
+            .unwrap()
+            .unwrap()
+            {
+                Command::Campaign(a) => assert!(!a.resume && !a.check),
+                other => panic!("{other:?}"),
+            }
+            // Help short-circuits inside subcommands too.
+            assert_eq!(parse_command(&["campaign", "--help"]).unwrap(), None);
+            assert_eq!(parse_command(&["campaign-worker", "-h"]).unwrap(), None);
         }
     }
 }

@@ -29,7 +29,9 @@
 //! O(cells) world builds into O(distinct seeds) per shard.
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
+use greener_simkit::rng::fnv1a;
 use greener_simkit::sweep;
 use greener_simkit::units::Energy;
 
@@ -56,6 +58,128 @@ impl std::error::Error for CampaignError {}
 fn cerr<T>(msg: impl Into<String>) -> Result<T, CampaignError> {
     Err(CampaignError { msg: msg.into() })
 }
+
+/// Why an artifact was rejected, split by layer: [`ArtifactIssue::Parse`]
+/// means the text is not structurally a versioned artifact at all,
+/// [`ArtifactIssue::Validation`] means it is well-formed but wrong —
+/// stale (plan fingerprint mismatch), corrupt/truncated (checksum
+/// mismatch), or covering the wrong cells. Supervisors map the two onto
+/// [`ShardError::Parse`] / [`ShardError::Validation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactIssue {
+    /// The text does not have the v1 artifact shape (bad header, missing
+    /// checksum trailer, unparseable cell line).
+    Parse(String),
+    /// Structurally sound but semantically rejected (stale, corrupt,
+    /// truncated, mis-ranged, or mismatching the plan).
+    Validation(String),
+}
+
+impl ArtifactIssue {
+    /// The human-readable rejection reason.
+    pub fn msg(&self) -> &str {
+        match self {
+            ArtifactIssue::Parse(m) | ArtifactIssue::Validation(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for ArtifactIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactIssue::Parse(m) => write!(f, "artifact parse: {m}"),
+            ArtifactIssue::Validation(m) => write!(f, "artifact validation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactIssue {}
+
+/// Why a shard failed to produce an accepted artifact. This is the error
+/// surface of the fallible backend seam
+/// ([`ShardBackend::try_run_shard`]): process-per-shard supervisors
+/// classify every failure mode so retry policy and run reports can tell
+/// a hung worker from a corrupt artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The worker process could not be spawned at all.
+    Spawn {
+        /// Shard ordinal.
+        shard: usize,
+        /// The OS error.
+        msg: String,
+    },
+    /// The worker exited with a failure status.
+    Exit {
+        /// Shard ordinal.
+        shard: usize,
+        /// Exit code, if the process was not signal-killed.
+        code: Option<i32>,
+    },
+    /// The worker outlived the per-attempt wall-clock budget and was
+    /// killed.
+    Timeout {
+        /// Shard ordinal.
+        shard: usize,
+        /// The budget that expired, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// The artifact text was structurally malformed.
+    Parse {
+        /// Shard ordinal.
+        shard: usize,
+        /// The parse failure.
+        msg: String,
+    },
+    /// The artifact parsed but failed validation (stale plan fingerprint,
+    /// checksum mismatch, wrong shard range, coverage holes).
+    Validation {
+        /// Shard ordinal.
+        shard: usize,
+        /// The validation failure.
+        msg: String,
+    },
+}
+
+impl ShardError {
+    /// The shard this error belongs to.
+    pub fn shard(&self) -> usize {
+        match self {
+            ShardError::Spawn { shard, .. }
+            | ShardError::Exit { shard, .. }
+            | ShardError::Timeout { shard, .. }
+            | ShardError::Parse { shard, .. }
+            | ShardError::Validation { shard, .. } => *shard,
+        }
+    }
+
+    /// Wrap an [`ArtifactIssue`] for `shard`.
+    pub fn from_issue(shard: usize, issue: ArtifactIssue) -> ShardError {
+        match issue {
+            ArtifactIssue::Parse(msg) => ShardError::Parse { shard, msg },
+            ArtifactIssue::Validation(msg) => ShardError::Validation { shard, msg },
+        }
+    }
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Spawn { shard, msg } => write!(f, "shard {shard}: spawn failed: {msg}"),
+            ShardError::Exit { shard, code } => match code {
+                Some(c) => write!(f, "shard {shard}: worker exited with status {c}"),
+                None => write!(f, "shard {shard}: worker killed by signal"),
+            },
+            ShardError::Timeout { shard, timeout_ms } => {
+                write!(f, "shard {shard}: worker timed out after {timeout_ms} ms")
+            }
+            ShardError::Parse { shard, msg } => write!(f, "shard {shard}: {msg}"),
+            ShardError::Validation { shard, msg } => write!(f, "shard {shard}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
 
 /// One shard of a plan: the contiguous cell range `start..end`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,9 +232,39 @@ pub struct CellResult {
     pub battery_cycles: f64,
 }
 
-/// A shard's serialized output: one `cell …` line per cell in the shard's
-/// range, in plan order. Produced by a [`ShardBackend`]; consumed only by
-/// [`merge_artifacts`].
+/// Fingerprint of a fully-expanded plan: FNV-1a over the campaign name,
+/// cell count, and every cell's id **and** debug-formatted scenario.
+/// Two plans agree iff their expansions are observably identical, so an
+/// artifact stamped with this fingerprint can be rejected as *stale* when
+/// the manifest changed in any way — including base-scenario edits that
+/// cell ids alone would not reveal (f64 fields render shortest-roundtrip
+/// in `Debug`, which is injective over finite values).
+pub fn plan_fingerprint(plan: &CampaignPlan) -> u64 {
+    let mut text = String::new();
+    let _ = write!(text, "{}\u{1e}{}", plan.name, plan.cells.len());
+    for cell in &plan.cells {
+        let _ = write!(text, "\u{1e}{}\u{1f}{:?}", cell.id, cell.scenario);
+    }
+    fnv1a(text.as_bytes())
+}
+
+/// A shard's serialized output, in the **versioned v1 artifact format**:
+///
+/// ```text
+/// artifact v1 plan <fp> shard <i> of <k> range <start> <end>
+/// cell …                                    # one line per cell, in plan order
+/// checksum <sum>
+/// ```
+///
+/// where `<fp>` is the 16-hex-digit [`plan_fingerprint`] of the producing
+/// plan and `<sum>` is the 16-hex-digit FNV-1a of every byte before the
+/// checksum line. The trailer makes damage detectable: truncation at any
+/// byte removes or mutilates the checksum line, and any single-byte
+/// change in the covered region changes the digest (each FNV-1a step
+/// `h ← (h ⊕ b)·p` is a bijection on `u64` for fixed `b`, so a one-byte
+/// difference can never cancel out). [`ShardArtifact::validate`] is the
+/// single gatekeeper; produced by a [`ShardBackend`], consumed by
+/// [`merge_artifacts`] and the process supervisor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardArtifact {
     /// The artifact text.
@@ -214,6 +368,157 @@ impl CellResult {
     }
 }
 
+impl ShardArtifact {
+    /// Serialize `cells` (the results for `shard`'s range, in plan order)
+    /// into the versioned artifact format, stamping the producing plan's
+    /// fingerprint and sealing the text with its checksum trailer.
+    pub fn compose(plan_fp: u64, shard: &ShardSpec, cells: &[CellResult]) -> ShardArtifact {
+        let mut text = format!(
+            "artifact v1 plan {plan_fp:016x} shard {} of {} range {} {}\n",
+            shard.shard, shard.of, shard.start, shard.end
+        );
+        for cell in cells {
+            text.push_str(&cell.to_line());
+            text.push('\n');
+        }
+        let sum = fnv1a(text.as_bytes());
+        let _ = writeln!(text, "checksum {sum:016x}");
+        ShardArtifact { text }
+    }
+
+    /// Validate this artifact against `plan` (whose fingerprint is
+    /// `plan_fp`, precomputed so merges validate K artifacts with one
+    /// fingerprint pass) and return its parsed cells.
+    ///
+    /// Checks, in order: structural v1 shape (header + checksum trailer +
+    /// trailing newline), content checksum (corruption/truncation),
+    /// plan-fingerprint freshness (staleness), shard-range sanity — and
+    /// equality with `expect` when the caller knows which shard it asked
+    /// for — then per-cell parse, index coverage (exactly
+    /// `range.start..range.end`, in order) and id agreement with the
+    /// plan. Checksum precedes freshness so a damaged fingerprint field
+    /// reads as corruption, not staleness.
+    pub fn validate(
+        &self,
+        plan: &CampaignPlan,
+        plan_fp: u64,
+        expect: Option<&ShardSpec>,
+    ) -> Result<Vec<CellResult>, ArtifactIssue> {
+        let parse = ArtifactIssue::Parse;
+        let invalid = ArtifactIssue::Validation;
+        let text = &self.text;
+        if text.is_empty() {
+            return Err(parse("artifact is empty".into()));
+        }
+        if !text.ends_with('\n') {
+            return Err(parse("artifact is truncated (no trailing newline)".into()));
+        }
+        let lines: Vec<&str> = text.lines().collect();
+        if lines.len() < 2 {
+            return Err(parse("artifact is truncated (no checksum trailer)".into()));
+        }
+
+        // Header: `artifact v1 plan <fp> shard <i> of <k> range <a> <b>`.
+        let h: Vec<&str> = lines[0].split_whitespace().collect();
+        if h.len() != 11 || h[0] != "artifact" || h[2] != "plan" || h[4] != "shard" {
+            return Err(parse(format!("malformed artifact header `{}`", lines[0])));
+        }
+        if h[1] != "v1" {
+            return Err(invalid(format!(
+                "unsupported artifact version `{}` (this reader understands v1)",
+                h[1]
+            )));
+        }
+        let stamped_fp = u64::from_str_radix(h[3], 16)
+            .map_err(|_| parse(format!("bad plan fingerprint token `{}`", h[3])))?;
+        let header_usize = |tok: &str, what: &str| {
+            tok.parse::<usize>()
+                .map_err(|_| parse(format!("bad {what} token `{tok}` in artifact header")))
+        };
+        let (shard, of) = (header_usize(h[5], "shard")?, header_usize(h[7], "of")?);
+        let (start, end) = (header_usize(h[9], "range")?, header_usize(h[10], "range")?);
+
+        // Checksum trailer: last line, sealing every byte before it. The
+        // trailer is the one line outside its own coverage, so its
+        // encoding must be canonical — exactly 16 *lowercase* hex digits
+        // — or a case-flipped digit (`a` → `A`) would re-parse to the
+        // same value and make that byte change undetectable.
+        let trailer = lines[lines.len() - 1];
+        let t: Vec<&str> = trailer.split_whitespace().collect();
+        if t.len() != 2
+            || t[0] != "checksum"
+            || t[1].len() != 16
+            || !t[1].bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f'))
+        {
+            return Err(parse(format!(
+                "artifact is truncated or missing its checksum trailer (last line `{trailer}`)"
+            )));
+        }
+        let declared = u64::from_str_radix(t[1], 16)
+            .map_err(|_| parse(format!("bad checksum token `{}`", t[1])))?;
+        let sealed_len = text.len() - (trailer.len() + 1);
+        let computed = fnv1a(&text.as_bytes()[..sealed_len]);
+        if computed != declared {
+            return Err(invalid(format!(
+                "checksum mismatch (declared {declared:016x}, computed {computed:016x}): \
+                 artifact is corrupt or truncated"
+            )));
+        }
+
+        if stamped_fp != plan_fp {
+            return Err(invalid(format!(
+                "stale artifact: plan fingerprint {stamped_fp:016x} does not match the \
+                 current plan ({plan_fp:016x}) — the manifest changed since it was written"
+            )));
+        }
+        if start > end || end > plan.len() || of == 0 || shard >= of {
+            return Err(invalid(format!(
+                "artifact shard {shard}/{of} range {start}..{end} is out of bounds for a \
+                 plan of {} cells",
+                plan.len()
+            )));
+        }
+        if let Some(spec) = expect {
+            if (shard, of, start, end) != (spec.shard, spec.of, spec.start, spec.end) {
+                return Err(invalid(format!(
+                    "artifact is for shard {shard}/{of} range {start}..{end}, expected \
+                     shard {}/{} range {}..{}",
+                    spec.shard, spec.of, spec.start, spec.end
+                )));
+            }
+        }
+
+        // Body: exactly the cells `start..end`, in plan order.
+        let body = &lines[1..lines.len() - 1];
+        if body.len() != end - start {
+            return Err(invalid(format!(
+                "artifact carries {} cell line(s) but declares range {start}..{end}",
+                body.len()
+            )));
+        }
+        let mut cells = Vec::with_capacity(body.len());
+        for (offset, line) in body.iter().enumerate() {
+            let cell = CellResult::parse_line(line).map_err(|e| parse(e.msg))?;
+            let expected_index = start + offset;
+            if cell.index != expected_index {
+                return Err(invalid(format!(
+                    "cell at artifact position {offset} has index {} (expected \
+                     {expected_index}: cells must cover the range in plan order)",
+                    cell.index
+                )));
+            }
+            if plan.cells[cell.index].id != cell.id {
+                return Err(invalid(format!(
+                    "cell index {} id mismatch: plan says `{}`, artifact says `{}`",
+                    cell.index, plan.cells[cell.index].id, cell.id
+                )));
+            }
+            cells.push(cell);
+        }
+        Ok(cells)
+    }
+}
+
 /// How a shard of a plan gets executed. The in-process backend below is
 /// the only implementation today; the contract is shaped so a
 /// process-per-shard or distributed backend (serialize the shard spec
@@ -223,6 +528,19 @@ pub trait ShardBackend: Sync {
     /// Run every cell in `shard`'s range and return the serialized
     /// artifact, cells in plan order.
     fn run_shard(&self, plan: &CampaignPlan, shard: &ShardSpec) -> ShardArtifact;
+
+    /// Fallible counterpart of [`ShardBackend::run_shard`]. Infallible
+    /// backends get this for free (in-process execution can only fail by
+    /// panicking, which stays a panic); supervising backends override it
+    /// to surface spawn/exit/timeout/parse/validation failures as
+    /// [`ShardError`] after their retry budget is spent.
+    fn try_run_shard(
+        &self,
+        plan: &CampaignPlan,
+        shard: &ShardSpec,
+    ) -> Result<ShardArtifact, ShardError> {
+        Ok(self.run_shard(plan, shard))
+    }
 }
 
 /// In-process shard runner: replays each cell through the aggregates-only
@@ -260,20 +578,18 @@ impl ShardBackend for InProcessBackend {
     fn run_shard(&self, plan: &CampaignPlan, shard: &ShardSpec) -> ShardArtifact {
         let cells = &plan.cells[shard.start..shard.end];
         let mut worlds: HashMap<String, World> = HashMap::new();
-        let mut text = String::new();
+        let mut results = Vec::with_capacity(cells.len());
         for cell in cells {
-            let result = if self.world_reuse {
+            results.push(if self.world_reuse {
                 let world = worlds
                     .entry(cell.scenario.world_inputs_key())
                     .or_insert_with(|| World::build(&cell.scenario));
                 InProcessBackend::run_cell(cell, world)
             } else {
                 InProcessBackend::run_cell(cell, &World::build(&cell.scenario))
-            };
-            text.push_str(&result.to_line());
-            text.push('\n');
+            });
         }
-        ShardArtifact { text }
+        ShardArtifact::compose(plan_fingerprint(plan), shard, &results)
     }
 }
 
@@ -307,35 +623,28 @@ impl CampaignReport {
     }
 }
 
-/// Merge shard artifacts back into one report, placing each parsed cell by
-/// plan index and validating coverage: every plan cell exactly once, ids
-/// matching the plan's.
+/// Merge shard artifacts back into one report. Every artifact is put
+/// through [`ShardArtifact::validate`] first (version, checksum, plan
+/// fingerprint, range, per-cell ids — with the plan fingerprint computed
+/// once here, not per artifact), then each cell is placed by plan index
+/// with coverage validation: every plan cell exactly once.
 pub fn merge_artifacts(
     plan: &CampaignPlan,
     artifacts: &[ShardArtifact],
 ) -> Result<CampaignReport, CampaignError> {
+    let plan_fp = plan_fingerprint(plan);
     let mut slots: Vec<Option<CellResult>> = vec![None; plan.len()];
-    for artifact in artifacts {
-        for line in artifact.text.lines() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let cell = CellResult::parse_line(line)?;
-            let Some(slot) = slots.get_mut(cell.index) else {
-                return cerr(format!(
-                    "cell index {} out of range for plan of {} cells",
-                    cell.index,
-                    plan.len()
-                ));
-            };
+    for (nth, artifact) in artifacts.iter().enumerate() {
+        let cells = artifact
+            .validate(plan, plan_fp, None)
+            .map_err(|e| CampaignError {
+                msg: format!("artifact {nth}: {e}"),
+            })?;
+        for cell in cells {
+            // validate() bounds-checked the range against the plan.
+            let slot = &mut slots[cell.index];
             if slot.is_some() {
                 return cerr(format!("cell {} delivered twice", cell.id));
-            }
-            if plan.cells[cell.index].id != cell.id {
-                return cerr(format!(
-                    "cell index {} id mismatch: plan says `{}`, artifact says `{}`",
-                    cell.index, plan.cells[cell.index].id, cell.id
-                ));
             }
             *slot = Some(cell);
         }
@@ -361,13 +670,25 @@ pub fn merge_artifacts(
 /// Run a whole campaign: partition into `shards` shards, fan the shards
 /// out across threads (outer sweep level), merge. The merged report is
 /// bit-identical for any `shards ≥ 1` and any `RAYON_NUM_THREADS`.
+///
+/// Shards run through the fallible seam
+/// ([`ShardBackend::try_run_shard`]); if any shard fails after the
+/// backend's own recovery (retries, resume) is exhausted, the error for
+/// the **lowest-indexed** failing shard is reported — deterministic no
+/// matter which shard's thread finished first.
 pub fn run_campaign(
     plan: &CampaignPlan,
     backend: &impl ShardBackend,
     shards: usize,
 ) -> Result<CampaignReport, CampaignError> {
     let specs = partition(plan.len(), shards);
-    let artifacts = sweep::run(&specs, |spec| backend.run_shard(plan, spec));
+    let outcomes = sweep::run(&specs, |spec| backend.try_run_shard(plan, spec));
+    let mut artifacts = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        // sweep::run returns in spec order, so the first error seen is
+        // the lowest shard ordinal.
+        artifacts.push(outcome.map_err(|e| CampaignError { msg: e.to_string() })?);
+    }
     merge_artifacts(plan, &artifacts)
 }
 
@@ -414,15 +735,19 @@ mod tests {
     fn cell_line_roundtrip_is_bit_exact() {
         let plan = tiny_plan();
         let artifact = InProcessBackend::default().run_shard(&plan, &partition(plan.len(), 1)[0]);
-        let mut parsed = 0;
-        for line in artifact.text.lines() {
+        // Body lines sit between the v1 header and the checksum trailer.
+        let body: Vec<&str> = artifact
+            .text
+            .lines()
+            .filter(|l| l.starts_with("cell "))
+            .collect();
+        for line in &body {
             let cell = CellResult::parse_line(line).unwrap();
-            assert_eq!(cell.to_line(), line, "roundtrip must be the identity");
-            parsed += 1;
+            assert_eq!(&cell.to_line(), line, "roundtrip must be the identity");
         }
-        assert_eq!(parsed, plan.len());
+        assert_eq!(body.len(), plan.len());
         // Adversarial values survive too (NaN, −∞, −0.0).
-        let mut doctored = CellResult::parse_line(artifact.text.lines().next().unwrap()).unwrap();
+        let mut doctored = CellResult::parse_line(body[0]).unwrap();
         doctored.aggregates.peak_power_kw = f64::NEG_INFINITY;
         doctored.aggregates.pue_sum = f64::NAN;
         doctored.battery_cycles = -0.0;
@@ -432,29 +757,166 @@ mod tests {
         assert_eq!(re.battery_cycles.to_bits(), (-0.0f64).to_bits());
     }
 
+    /// Re-seal arbitrary artifact body text with a fresh, *correct*
+    /// checksum trailer, so tests can forge semantically-wrong artifacts
+    /// that still pass the corruption check and exercise the deeper
+    /// validation layers.
+    fn reseal(body: &str) -> ShardArtifact {
+        let sum = fnv1a(body.as_bytes());
+        ShardArtifact {
+            text: format!("{body}checksum {sum:016x}\n"),
+        }
+    }
+
+    /// Strip the checksum trailer, returning the body `reseal` accepts.
+    fn unsealed(artifact: &ShardArtifact) -> String {
+        let trailer_start = artifact.text.rfind("checksum ").unwrap();
+        artifact.text[..trailer_start].to_string()
+    }
+
     #[test]
     fn merge_rejects_missing_duplicate_and_mismatched_cells() {
         let plan = tiny_plan();
         let backend = InProcessBackend::default();
-        let full = backend.run_shard(&plan, &partition(plan.len(), 1)[0]);
+        let specs = partition(plan.len(), 3);
+        let shards: Vec<ShardArtifact> =
+            specs.iter().map(|s| backend.run_shard(&plan, s)).collect();
 
-        // Missing: drop the last line.
-        let mut lines: Vec<&str> = full.text.lines().collect();
-        let dropped = lines.pop().unwrap().to_string();
-        let partial = ShardArtifact {
-            text: lines.join("\n"),
-        };
-        let e = merge_artifacts(&plan, std::slice::from_ref(&partial)).unwrap_err();
+        // Missing: deliver only two of the three shards.
+        let e = merge_artifacts(&plan, &shards[..2]).unwrap_err();
         assert!(e.msg.contains("missing"), "{e}");
 
-        // Duplicate: deliver the full artifact twice.
-        let e = merge_artifacts(&plan, &[full.clone(), full.clone()]).unwrap_err();
+        // Duplicate: deliver shard 0 twice alongside full coverage.
+        let with_dup = [
+            shards[0].clone(),
+            shards[1].clone(),
+            shards[2].clone(),
+            shards[0].clone(),
+        ];
+        let e = merge_artifacts(&plan, &with_dup).unwrap_err();
         assert!(e.msg.contains("twice"), "{e}");
 
-        // Mismatched id: swap the dropped line's id for another cell's.
-        let forged = dropped.replacen(&plan.cells[plan.len() - 1].id, "t/forged", 1);
-        let e = merge_artifacts(&plan, &[partial, ShardArtifact { text: forged }]).unwrap_err();
+        // Mismatched id: forge one cell's id and re-seal the checksum, so
+        // the forgery survives the corruption check and must be caught by
+        // id validation.
+        let forged_body =
+            unsealed(&shards[2]).replacen(&plan.cells[specs[2].start].id, "t/forged", 1);
+        let forged = reseal(&forged_body);
+        let e =
+            merge_artifacts(&plan, &[shards[0].clone(), shards[1].clone(), forged]).unwrap_err();
         assert!(e.msg.contains("id mismatch"), "{e}");
+    }
+
+    #[test]
+    fn validate_rejects_each_damage_class_precisely() {
+        let plan = tiny_plan();
+        let fp = plan_fingerprint(&plan);
+        let spec = partition(plan.len(), 2)[0];
+        let good = InProcessBackend::default().run_shard(&plan, &spec);
+        good.validate(&plan, fp, Some(&spec)).unwrap();
+
+        let expect_reject = |artifact: &ShardArtifact, needle: &str| {
+            let issue = artifact.validate(&plan, fp, Some(&spec)).unwrap_err();
+            assert!(
+                issue.msg().contains(needle),
+                "expected `{needle}` in `{issue}`"
+            );
+            // Merging must reject it for the same underlying reason.
+            let e = merge_artifacts(&plan, std::slice::from_ref(artifact)).unwrap_err();
+            assert!(e.msg.contains(needle), "merge accepted it: {e}");
+        };
+
+        // Unsupported format version.
+        let v2 = reseal(&unsealed(&good).replacen("artifact v1", "artifact v2", 1));
+        expect_reject(&v2, "unsupported artifact version");
+
+        // Stale plan fingerprint: a plan whose only difference is a
+        // base-scenario edit (same cell ids, different scenario).
+        let other_plan = CampaignManifest::parse(
+            "name = t\n\
+             base = quick:4@5\n\
+             seeds = 1..3\n\
+             axis policy = fcfs, easy\n",
+        )
+        .unwrap()
+        .expand()
+        .unwrap();
+        assert_eq!(other_plan.cells[0].id, plan.cells[0].id, "ids must agree");
+        let stale = InProcessBackend::default().run_shard(&other_plan, &spec);
+        expect_reject(&stale, "stale artifact");
+
+        // Truncation: any prefix cut loses or damages the trailer.
+        let cut = ShardArtifact {
+            text: good.text[..good.text.len() - 2].to_string(),
+        };
+        assert!(cut.validate(&plan, fp, Some(&spec)).is_err());
+
+        // Single-byte corruption in the covered region.
+        let mut bytes = good.text.clone().into_bytes();
+        bytes[good.text.len() / 2] ^= 0x01;
+        if let Ok(text) = String::from_utf8(bytes) {
+            expect_reject(&ShardArtifact { text }, "checksum mismatch");
+        }
+
+        // Wrong shard range vs. what the supervisor asked for.
+        let other_spec = partition(plan.len(), 2)[1];
+        let wrong = InProcessBackend::default().run_shard(&plan, &other_spec);
+        let issue = wrong.validate(&plan, fp, Some(&spec)).unwrap_err();
+        assert!(issue.msg().contains("expected"), "{issue}");
+        // …but with no expectation (merge path) it is fine.
+        wrong.validate(&plan, fp, None).unwrap();
+
+        // Range out of bounds for the plan.
+        let oob = reseal(&format!(
+            "artifact v1 plan {fp:016x} shard 0 of 1 range 0 {}\n",
+            plan.len() + 1
+        ));
+        expect_reject(&oob, "out of bounds");
+
+        // Cell count disagreeing with the declared range.
+        let mut lines: Vec<&str> = good.text.lines().collect();
+        lines.remove(1); // drop the first cell line, keep header
+        lines.pop(); // drop the stale trailer
+        let mut body = lines.join("\n");
+        body.push('\n');
+        expect_reject(&reseal(&body), "cell line(s)");
+
+        // Malformed header.
+        let issue = reseal("garbage header\n")
+            .validate(&plan, fp, None)
+            .unwrap_err();
+        assert!(matches!(issue, ArtifactIssue::Parse(_)), "{issue}");
+    }
+
+    #[test]
+    fn partition_and_run_handle_single_cell_plans() {
+        let plan = CampaignManifest::parse("name = solo\nbase = quick:2@9\nseeds = 9\n")
+            .unwrap()
+            .expand()
+            .unwrap();
+        assert_eq!(plan.len(), 1);
+        // k > n: every extra shard is an empty range that merges away.
+        for k in [1, 2, 5] {
+            let specs = partition(plan.len(), k);
+            assert_eq!(specs.len(), k);
+            assert!(specs[1..].iter().all(|s| s.start == s.end));
+            let report = run_campaign(&plan, &InProcessBackend::default(), k).unwrap();
+            assert_eq!(report.cells.len(), 1);
+            assert_eq!(
+                report.to_text(),
+                run_campaign(&plan, &InProcessBackend::default(), 1)
+                    .unwrap()
+                    .to_text()
+            );
+        }
+        // An empty shard's artifact still validates (zero cells).
+        let fp = plan_fingerprint(&plan);
+        let empty_spec = partition(plan.len(), 3)[2];
+        let empty = InProcessBackend::default().run_shard(&plan, &empty_spec);
+        assert!(empty
+            .validate(&plan, fp, Some(&empty_spec))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -581,6 +1043,58 @@ mod tests {
                 match prior {
                     Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
                     None => std::env::remove_var("RAYON_NUM_THREADS"),
+                }
+            }
+        }
+
+        /// One valid artifact, built once and shared across all proptest
+        /// cases (the corruption property needs many cheap mutations of
+        /// the same expensive-to-produce text).
+        fn golden() -> &'static (CampaignPlan, u64, ShardArtifact) {
+            static GOLDEN: std::sync::OnceLock<(CampaignPlan, u64, ShardArtifact)> =
+                std::sync::OnceLock::new();
+            GOLDEN.get_or_init(|| {
+                let plan = super::tiny_plan();
+                let fp = plan_fingerprint(&plan);
+                let artifact =
+                    InProcessBackend::default().run_shard(&plan, &partition(plan.len(), 1)[0]);
+                (plan, fp, artifact)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(
+                crate::equivalence::proptest_cases(16)
+            ))]
+            /// Random damage to a valid artifact is **always** detected:
+            /// truncation at any byte offset, and a single-bit flip of
+            /// any byte, must both fail validation and be refused by the
+            /// merge. (A flip that breaks UTF-8 counts as detected — the
+            /// damaged bytes cannot even become an artifact string.)
+            #[test]
+            fn corruption_is_always_detected(
+                cut in 0usize..1_000_000,
+                flip_pos in 0usize..1_000_000,
+                flip_bit in 0u8..8,
+            ) {
+                let (plan, fp, artifact) = golden();
+                let n = artifact.text.len();
+
+                // Truncation at any byte (artifact text is ASCII, so
+                // every byte offset is a char boundary).
+                let truncated = ShardArtifact {
+                    text: artifact.text[..cut % n].to_string(),
+                };
+                prop_assert!(truncated.validate(plan, *fp, None).is_err());
+                prop_assert!(merge_artifacts(plan, &[truncated]).is_err());
+
+                // Single-bit flip of any byte.
+                let mut bytes = artifact.text.clone().into_bytes();
+                bytes[flip_pos % n] ^= 1 << flip_bit;
+                if let Ok(text) = String::from_utf8(bytes) {
+                    let flipped = ShardArtifact { text };
+                    prop_assert!(flipped.validate(plan, *fp, None).is_err());
+                    prop_assert!(merge_artifacts(plan, &[flipped]).is_err());
                 }
             }
         }

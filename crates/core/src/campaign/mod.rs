@@ -9,7 +9,7 @@
 //! (the merge-determinism standing invariant, pinned by the
 //! [`crate::equivalence::assert_campaign_equivalent`] axis).
 //!
-//! Three cooperating pieces:
+//! Four cooperating pieces:
 //!
 //! * **[`CampaignManifest`]** ([`manifest`]) — base preset + named axes ×
 //!   values + seed range, parsed from a small `key = value` text format
@@ -19,9 +19,50 @@
 //!   expansion (first axis outermost, seeds innermost, via
 //!   [`greener_simkit::sweep::gridn_indices`]) into cells with stable ids.
 //! * **[`ShardBackend`] / [`run_campaign`]** ([`exec`]) — contiguous shard
-//!   partition, per-shard execution behind a serialization boundary
-//!   (process-per-shard backends drop in later), world-reuse caching
-//!   keyed by [`Scenario::world_inputs_key`], and the index-ordered merge.
+//!   partition, per-shard execution behind a serialization boundary,
+//!   world-reuse caching keyed by [`Scenario::world_inputs_key`], and the
+//!   index-ordered merge. Artifacts are **versioned and checksummed**
+//!   ([`ShardArtifact`]): a v1 header carries the producing plan's
+//!   fingerprint ([`exec::plan_fingerprint`]) and shard range, an FNV-1a
+//!   trailer seals the content, and [`merge_artifacts`] validates every
+//!   artifact before accepting a single cell — truncated, corrupt, or
+//!   stale files are rejected with a precise error.
+//! * **[`process::ProcessBackend`]** ([`process`]) — the fault-tolerant
+//!   process-per-shard backend: one worker process per shard (`perfjson
+//!   campaign-worker`), per-shard wall-clock timeouts that kill hung
+//!   workers, capped exponential backoff with deterministic seeded jitter
+//!   (no `SystemTime` in decision paths), artifact validation before
+//!   acceptance, and resume (shards with valid artifacts on disk are
+//!   skipped). Its merged report is byte-identical to
+//!   [`InProcessBackend`]'s — any shard count, with faults injected and
+//!   retried, across resume boundaries.
+//!
+//! # Artifact directory layout & resume
+//!
+//! A supervised campaign keeps its durable state in one directory:
+//!
+//! ```text
+//! <dir>/manifest.campaign     # manifest text workers re-expand
+//! <dir>/shard-<i>-of-<k>.art  # one validated ShardArtifact per shard
+//! <dir>/shard-<i>-of-<k>.ok   # completion marker (written after the artifact)
+//! ```
+//!
+//! On re-run, a shard whose artifact + marker exist and validate (version,
+//! checksum, plan fingerprint, range, cell coverage) is **resumed** —
+//! satisfied from disk without spawning a worker. Editing the manifest
+//! changes the plan fingerprint, so stale artifacts are rejected and
+//! re-run rather than silently merged. Damaged leftovers are deleted and
+//! their shards re-executed.
+//!
+//! # Fault injection
+//!
+//! Workers honor `GREENER_FAULT` — a comma-separated list of
+//! `mode:shard[@attempts]` entries with modes `crash`, `hang`, `corrupt`,
+//! `truncate` (see [`process::FaultPlan`] for a runnable example). Faults
+//! fire only while the 0-based `GREENER_WORKER_ATTEMPT` ordinal is below
+//! the entry's attempt count (default 1), so retries run clean and
+//! supervised campaigns complete despite every injected failure — the CI
+//! `campaign-faults` smoke runs exactly that matrix.
 //!
 //! # Manifest format
 //!
@@ -79,10 +120,16 @@
 pub mod exec;
 pub mod manifest;
 pub mod plan;
+pub mod process;
 
 pub use exec::{
-    merge_artifacts, partition, run_campaign, CampaignError, CampaignReport, CellResult,
-    InProcessBackend, ShardArtifact, ShardBackend, ShardSpec,
+    merge_artifacts, partition, plan_fingerprint, run_campaign, ArtifactIssue, CampaignError,
+    CampaignReport, CellResult, InProcessBackend, ShardArtifact, ShardBackend, ShardError,
+    ShardSpec,
 };
 pub use manifest::{Axis, AxisValue, CampaignManifest, Knob, ManifestError};
 pub use plan::{CampaignCell, CampaignPlan};
+pub use process::{
+    CampaignRunReport, FaultMode, FaultPlan, ProcessBackend, ShardRunStats, SupervisorConfig,
+    WorkerCommand,
+};

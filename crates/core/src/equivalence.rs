@@ -179,6 +179,13 @@ pub fn assert_runners_equivalent(
 /// float encoding this pins the merge-determinism standing invariant:
 /// shard count and thread count are unobservable in campaign output.
 ///
+/// `backend` is any [`ShardBackend`] — the in-process runner (with or
+/// without world reuse) and the process-per-shard
+/// [`crate::campaign::process::ProcessBackend`] (with its retries,
+/// fault injection and resume) ride the same axis, which is what makes
+/// "the supervised backend changes no byte" a pinned invariant rather
+/// than a bespoke comparison loop.
+///
 /// # Panics
 /// On the first cell whose merged result diverges from its straight run,
 /// naming the shard count and cell id.

@@ -28,6 +28,9 @@
 //!   threading level: across runs).
 //! * [`par`] — structured fork/join and sharded-map helpers for *in-run*
 //!   parallelism over independent RNG streams (the *inner* level).
+//! * [`proc`] — supervised-child-process helpers (wall-clock-bounded
+//!   waits, atomic file publication) for backends that treat worker
+//!   execution as unreliable.
 
 pub mod calendar;
 pub mod calq;
@@ -35,6 +38,7 @@ pub mod des;
 pub mod fastmap;
 pub mod obs;
 pub mod par;
+pub mod proc;
 pub mod rng;
 pub mod series;
 pub mod stats;

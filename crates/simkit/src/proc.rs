@@ -1,0 +1,142 @@
+//! Small process and filesystem helpers for supervised child workers.
+//!
+//! The campaign layer's process-per-shard backend treats worker execution
+//! as unreliable: workers can crash, hang, or die mid-write. These two
+//! helpers are the substrate that makes supervising them simple:
+//!
+//! * [`wait_with_timeout`] — wait on a spawned child with a wall-clock
+//!   budget, killing (and reaping) it on expiry. The timeout is an
+//!   *enforcement* mechanism, not a decision input: retry/backoff
+//!   decisions upstream stay deterministic (seeded jitter, attempt
+//!   ordinals), only the kill switch reads the real clock.
+//! * [`write_atomic`] — publish a file via write-to-temp + rename, so a
+//!   reader never observes a half-written artifact. A worker that dies
+//!   mid-write leaves a `.tmp` turd, never a truncated published file;
+//!   validation layers above still checksum everything because published
+//!   files can be damaged by *other* means (manual edits, partial copies,
+//!   injected faults in tests).
+
+use std::io;
+use std::path::Path;
+use std::process::{Child, ExitStatus};
+use std::time::{Duration, Instant};
+
+/// How a supervised wait ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The child exited on its own within the budget.
+    Exited(ExitStatus),
+    /// The budget expired: the child was killed and reaped.
+    TimedOut,
+}
+
+/// Wait for `child` to exit, for at most `timeout` of wall-clock time.
+///
+/// Polls [`Child::try_wait`] on a short sleep loop (10 ms granularity,
+/// clamped to the remaining budget). On expiry the child is killed and
+/// reaped before returning, so the caller never leaks a zombie. A child
+/// that exits in the race window right at the deadline may still be
+/// reported as [`WaitOutcome::TimedOut`] — supervisors treat both the
+/// same way (discard the attempt), so the ambiguity is harmless.
+pub fn wait_with_timeout(child: &mut Child, timeout: Duration) -> io::Result<WaitOutcome> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(status) = child.try_wait()? {
+            return Ok(WaitOutcome::Exited(status));
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            // Kill may race a natural exit; either way wait() reaps.
+            let _ = child.kill();
+            child.wait()?;
+            return Ok(WaitOutcome::TimedOut);
+        }
+        std::thread::sleep(Duration::from_millis(10).min(deadline - now));
+    }
+}
+
+/// Write `contents` to `path` atomically: write a sibling `<name>.tmp`,
+/// then rename over the destination. On POSIX filesystems the rename is
+/// atomic, so concurrent readers see either the old file or the complete
+/// new one — never a prefix.
+///
+/// The temp name is derived from the full file name (`foo.art` →
+/// `foo.art.tmp`), so sibling files with the same stem but different
+/// extensions (an artifact and its completion marker) cannot collide.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("write_atomic needs a file path, got `{}`", path.display()),
+        )
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::process::{Command, Stdio};
+
+    fn sh(script: &str) -> Child {
+        Command::new("sh")
+            .args(["-c", script])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn sh")
+    }
+
+    #[test]
+    fn exits_within_budget_report_status() {
+        let mut child = sh("exit 3");
+        match wait_with_timeout(&mut child, Duration::from_secs(10)).unwrap() {
+            WaitOutcome::Exited(status) => {
+                assert!(!status.success());
+                assert_eq!(status.code(), Some(3));
+            }
+            WaitOutcome::TimedOut => panic!("fast exit must not time out"),
+        }
+        let mut ok = sh("exit 0");
+        match wait_with_timeout(&mut ok, Duration::from_secs(10)).unwrap() {
+            WaitOutcome::Exited(status) => assert!(status.success()),
+            WaitOutcome::TimedOut => panic!("fast exit must not time out"),
+        }
+    }
+
+    #[test]
+    fn hung_child_is_killed_promptly() {
+        let started = Instant::now();
+        let mut child = sh("sleep 30");
+        let outcome = wait_with_timeout(&mut child, Duration::from_millis(150)).unwrap();
+        assert_eq!(outcome, WaitOutcome::TimedOut);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "kill must not wait out the child's sleep"
+        );
+        // The child is reaped: a second wait on the same handle errors or
+        // returns immediately, but must not block.
+        let _ = child.try_wait();
+    }
+
+    #[test]
+    fn write_atomic_creates_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("greener-proc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.art");
+        write_atomic(&path, b"first\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first\n");
+        write_atomic(&path, b"second\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second\n");
+        // Sibling marker with the same stem gets its own temp name.
+        let marker = dir.join("artifact.ok");
+        write_atomic(&marker, b"ok\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

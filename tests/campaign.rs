@@ -5,10 +5,13 @@
 //! seeds) through the shard runner at two shard counts, merged artifacts
 //! compared byte for byte.
 
+use greener_world::core::campaign::process::{ProcessBackend, SupervisorConfig, WorkerCommand};
 use greener_world::core::campaign::{
     merge_artifacts, partition, run_campaign, CampaignManifest, InProcessBackend, ShardBackend,
 };
 use greener_world::core::equivalence;
+use std::path::PathBuf;
+use std::time::Duration;
 
 /// The CI smoke manifest: 2 axes × 2 values × 2 seeds = 8 cells on a
 /// 3-day quick world.
@@ -83,4 +86,137 @@ fn campaign_axis_holds_from_downstream() {
             &[1, 3, 8],
         );
     }
+}
+
+/// Locate the `perfjson` binary next to this test binary
+/// (`target/<profile>/deps/campaign-<hash>` → `target/<profile>/perfjson`),
+/// building it on demand if a narrowly-scoped test invocation (e.g.
+/// `cargo test -p greener-world --test campaign`) did not already.
+fn perfjson_bin() -> PathBuf {
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // test binary file name
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    path.push(format!("perfjson{}", std::env::consts::EXE_SUFFIX));
+    if !path.exists() {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+        let mut build = std::process::Command::new(cargo);
+        build.args(["build", "-p", "greener-bench", "--bin", "perfjson"]);
+        if path
+            .parent()
+            .is_some_and(|p| p.file_name().is_some_and(|n| n == "release"))
+        {
+            build.arg("--release");
+        }
+        let status = build.status().expect("spawn cargo build for perfjson");
+        assert!(status.success(), "building perfjson worker binary failed");
+    }
+    assert!(
+        path.exists(),
+        "perfjson worker binary not found at `{}`",
+        path.display()
+    );
+    path
+}
+
+fn worker_command() -> WorkerCommand {
+    WorkerCommand {
+        program: perfjson_bin(),
+        args: vec!["campaign-worker".into()],
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("greener-campaign-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn process_config() -> SupervisorConfig {
+    SupervisorConfig {
+        timeout: Duration::from_secs(60),
+        backoff_base: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(100),
+        ..SupervisorConfig::default()
+    }
+}
+
+/// The tentpole invariant, pinned through the standing equivalence axis:
+/// the process-per-shard backend's merged report matches straight
+/// per-cell runs at shard counts {1, 2, 8}, and is byte-identical to the
+/// in-process backend's text.
+#[test]
+fn process_backend_holds_the_campaign_equivalence_axis() {
+    let plan = CampaignManifest::parse(SMOKE_MANIFEST)
+        .unwrap()
+        .expand()
+        .unwrap();
+    let dir = temp_dir("axis");
+    let backend =
+        ProcessBackend::new(SMOKE_MANIFEST, worker_command(), &dir, process_config()).unwrap();
+    equivalence::assert_campaign_equivalent("process backend", &plan, &backend, &[1, 2, 8]);
+
+    // Byte-identity against the in-process backend at yet another count.
+    let process_text = run_campaign(&plan, &backend, 3).unwrap().to_text();
+    let in_process_text = run_campaign(&plan, &InProcessBackend::default(), 3)
+        .unwrap()
+        .to_text();
+    assert_eq!(process_text, in_process_text);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The fault matrix: one crash, one hang (killed at a short timeout),
+/// one corrupt artifact and one truncated artifact — every shard retried
+/// to success, the run report says so, and the merged report is still
+/// byte-identical to a clean in-process run.
+#[test]
+fn injected_faults_are_retried_to_a_byte_identical_report() {
+    let plan = CampaignManifest::parse(SMOKE_MANIFEST)
+        .unwrap()
+        .expand()
+        .unwrap();
+    let dir = temp_dir("faults");
+    let config = SupervisorConfig {
+        timeout: Duration::from_secs(6),
+        fault: Some("crash:0,hang:1,corrupt:2,truncate:3".into()),
+        ..process_config()
+    };
+    let backend = ProcessBackend::new(SMOKE_MANIFEST, worker_command(), &dir, config).unwrap();
+    let (report, run) = backend.run_supervised(4).unwrap();
+
+    let clean = run_campaign(&plan, &InProcessBackend::default(), 1)
+        .unwrap()
+        .to_text();
+    assert_eq!(report.to_text(), clean, "faults must not change a byte");
+    assert_eq!(run.shards, 4);
+    assert!(run.retries >= 4, "every shard retried once: {run:?}");
+    assert!(run.timeouts >= 1, "the hang was killed: {run:?}");
+    assert_eq!(run.degraded, 4, "every shard needed a retry: {run:?}");
+    assert!(run.per_shard.iter().all(|s| s.succeeded), "{run:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resume: after a full run, delete one artifact and run again — the
+/// other shards are satisfied from disk, only the deleted one
+/// re-executes, and the merged report does not change by a byte.
+#[test]
+fn resume_skips_shards_with_existing_artifacts() {
+    let dir = temp_dir("resume");
+    let backend =
+        ProcessBackend::new(SMOKE_MANIFEST, worker_command(), &dir, process_config()).unwrap();
+    let (first, run) = backend.run_supervised(4).unwrap();
+    assert_eq!((run.resumed, run.executed), (0, 4));
+
+    let deleted = partition(backend.plan().len(), 4)[2];
+    std::fs::remove_file(backend.artifact_path(&deleted)).unwrap();
+    let (second, rerun) = backend.run_supervised(4).unwrap();
+    assert_eq!((rerun.resumed, rerun.executed), (3, 1), "{rerun:?}");
+    assert_eq!(rerun.attempts, 1);
+    assert_eq!(
+        first.to_text(),
+        second.to_text(),
+        "resume must not change a byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
