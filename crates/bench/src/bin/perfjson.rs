@@ -26,6 +26,16 @@
 //! merged-report byte-identity check across shard counts 1 and 2 (the CI
 //! campaign smoke greps for it).
 //!
+//! A `"fleet"` section reports the `fleet_small` lane: the three-site
+//! fleet (one shared trace, regionally-varied grids) run through
+//! `greener_core::fleet`'s route-then-replay driver under the static and
+//! greedy-carbon routing policies. Per policy it records runs/sec, the
+//! fleet carbon total (value and `f64::to_bits` hex — the byte CI
+//! compares across process invocations at different `RAYON_NUM_THREADS`)
+//! and an in-process report byte-identity check across thread counts 1
+//! and 4; a top-level `carbon_totals_differ` flag proves routing actually
+//! moves carbon on the spread grids (the CI fleet smoke greps for both).
+//!
 //! Flags are parsed strictly by [`greener_bench::cli`]: an unknown flag
 //! (e.g. a `--proflie` typo) aborts with the usage text instead of
 //! silently running the wrong benchmark shape.
@@ -51,7 +61,9 @@
 //! ROADMAP's replay-remainder work.
 
 use greener_bench::cli;
-use greener_bench::scenarios::{campaign_small, dispatch_burst_7d, dispatch_heavy_90d};
+use greener_bench::scenarios::{
+    campaign_small, dispatch_burst_7d, dispatch_heavy_90d, fleet_small,
+};
 use greener_core::campaign::process::{
     artifact_file_name, marker_file_name, FaultMode, FaultPlan, ProcessBackend, SupervisorConfig,
     WorkerCommand,
@@ -60,6 +72,7 @@ use greener_core::campaign::{
     partition, run_campaign, CampaignManifest, InProcessBackend, ShardBackend,
 };
 use greener_core::driver::{SimDriver, World};
+use greener_core::fleet::{FleetDriver, FleetWorld, RoutingPolicyKind};
 use greener_core::probe::Observe;
 use greener_core::profile::{ProfileCounter, ProfilePhase, ProfileSubPhase, ReplayProfile};
 use greener_core::scenario::Scenario;
@@ -287,6 +300,86 @@ fn time_campaign(min_runs: usize, budget_secs: f64) -> CampaignMeasurement {
     }
 }
 
+/// One routing policy's row in the fleet lane.
+struct FleetPolicyMeasurement {
+    routing: &'static str,
+    secs_per_run: f64,
+    carbon_kg: f64,
+    /// `f64::to_bits` hex of the fleet carbon total — the deterministic
+    /// byte CI compares across process invocations at different
+    /// `RAYON_NUM_THREADS`.
+    carbon_bits: String,
+    completed_jobs: usize,
+    /// Full fleet report text byte-identical with `RAYON_NUM_THREADS`
+    /// set to 1 and 4 in-process (routing + replay determinism).
+    identical_threads_1_4: bool,
+}
+
+/// The fleet lane's snapshot row.
+struct FleetMeasurement {
+    sites: usize,
+    routed_jobs: usize,
+    /// The two policies' fleet carbon totals have different bit patterns
+    /// (routing must matter on the spread grids).
+    carbon_totals_differ: bool,
+    policies: Vec<FleetPolicyMeasurement>,
+}
+
+/// Time the `fleet_small` fleet under the static and greedy-carbon
+/// routing policies. The two policies share the spread fleet (and so the
+/// shared trace); per policy the report is produced once under
+/// `RAYON_NUM_THREADS` 1 and 4 and byte-compared, then the timed loop
+/// runs over a shared pre-built fleet world.
+fn time_fleet(min_runs: usize, budget_secs: f64) -> FleetMeasurement {
+    let fleet = fleet_small(greener_bench::seeds::WORLD);
+    let kinds = [RoutingPolicyKind::Static, RoutingPolicyKind::GreedyCarbon];
+    let prior = std::env::var("RAYON_NUM_THREADS").ok();
+    let mut policies = Vec::new();
+    let mut routed_jobs = 0;
+    for kind in kinds {
+        let f = fleet.clone().with_routing(kind);
+        let mut texts = Vec::new();
+        for threads in ["1", "4"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            let world = FleetWorld::build(&f);
+            texts.push(FleetDriver::run_observed(&f, &world, Observe::aggregates()).to_text());
+        }
+        let identical = texts[0] == texts[1];
+        let world = FleetWorld::build(&f);
+        let warm = FleetDriver::run_observed(&f, &world, Observe::aggregates());
+        routed_jobs = warm.routes.len();
+        let (runs, secs_per_run) = time_loop(min_runs, budget_secs, || {
+            std::hint::black_box(FleetDriver::run_observed(&f, &world, Observe::aggregates()));
+        });
+        eprintln!(
+            "[perfjson] fleet_small/{}: {secs_per_run:.3} s/run ({runs} runs, {} routed, \
+             {} completed, carbon {:.1} kg, identical at threads 1 vs 4: {identical})",
+            kind.label(),
+            warm.routes.len(),
+            warm.jobs.completed,
+            warm.totals.carbon_kg,
+        );
+        policies.push(FleetPolicyMeasurement {
+            routing: kind.label(),
+            secs_per_run,
+            carbon_kg: warm.totals.carbon_kg,
+            carbon_bits: format!("{:016x}", warm.totals.carbon_kg.to_bits()),
+            completed_jobs: warm.jobs.completed,
+            identical_threads_1_4: identical,
+        });
+    }
+    match prior {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    FleetMeasurement {
+        sites: fleet.sites.len(),
+        routed_jobs,
+        carbon_totals_differ: policies[0].carbon_bits != policies[1].carbon_bits,
+        policies,
+    }
+}
+
 /// `perfjson campaign-worker`: the process spawned per shard by
 /// [`ProcessBackend`]. Re-expands the manifest, runs its shard
 /// in-process, and publishes artifact then marker (both atomically).
@@ -463,6 +556,7 @@ fn main() {
     ];
 
     let campaign = time_campaign(min_runs, long_budget);
+    let fleet = time_fleet(min_runs, short_budget);
 
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, m) in measurements.iter().enumerate() {
@@ -492,7 +586,7 @@ fn main() {
     json.push_str(&format!(
         "  \"campaign\": {{\"name\": \"campaign_small\", \"cells\": {}, \"distinct_worlds\": {}, \
          \"cells_per_sec_world_reuse\": {:.6}, \"cells_per_sec_rebuild\": {:.6}, \
-         \"world_reuse_speedup\": {:.3}, \"merged_identical_shards_1_2\": {}}}\n",
+         \"world_reuse_speedup\": {:.3}, \"merged_identical_shards_1_2\": {}}},\n",
         campaign.cells,
         campaign.distinct_worlds,
         1.0 / campaign.reuse_secs_per_cell,
@@ -500,6 +594,31 @@ fn main() {
         campaign.rebuild_secs_per_cell / campaign.reuse_secs_per_cell,
         campaign.merged_identical_shards_1_2,
     ));
+    json.push_str(&format!(
+        "  \"fleet\": {{\"name\": \"fleet_small\", \"sites\": {}, \"routed_jobs\": {}, \
+         \"carbon_totals_differ\": {}, \"policies\": [\n",
+        fleet.sites, fleet.routed_jobs, fleet.carbon_totals_differ,
+    ));
+    for (i, p) in fleet.policies.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"routing\": \"{}\", \"secs_per_run\": {:.6}, \"runs_per_sec\": {:.6}, \
+             \"carbon_kg\": {:.6}, \"carbon_kg_bits\": \"{}\", \"completed_jobs\": {}, \
+             \"identical_threads_1_4\": {}}}{}\n",
+            p.routing,
+            p.secs_per_run,
+            1.0 / p.secs_per_run,
+            p.carbon_kg,
+            p.carbon_bits,
+            p.completed_jobs,
+            p.identical_threads_1_4,
+            if i + 1 < fleet.policies.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str("  ]}\n");
     json.push_str("}\n");
 
     if to_stdout {

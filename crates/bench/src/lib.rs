@@ -461,6 +461,19 @@ pub mod scenarios {
         s
     }
 
+    /// The `fleet_small` fleet: three regionally-varied sites derived
+    /// from the 30-day quick world (`FleetScenario::spread`, so site 0 is
+    /// the base verbatim and sites 1–2 get shifted wind/solar/fossil
+    /// grids and warming offsets), sharing one arrival trace. The
+    /// `perfjson` fleet lane runs it under two routing policies and
+    /// checks that carbon totals differ across policies while each
+    /// policy's report stays byte-identical across thread counts.
+    pub fn fleet_small(seed: u64) -> greener_core::fleet::FleetScenario {
+        let mut fleet = greener_core::fleet::FleetScenario::spread(Scenario::quick(30, seed), 3);
+        fleet.name = "fleet_small".into();
+        fleet
+    }
+
     /// The `campaign_small` manifest: a **policy-only** campaign (policy ×
     /// SLO threshold, one seed) over the small two-year world. Every axis
     /// is replay-side, so all 12 cells share one world — the shape where

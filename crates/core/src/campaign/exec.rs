@@ -271,8 +271,9 @@ pub struct ShardArtifact {
     pub text: String,
 }
 
-/// `f64` → bit-exact hex token.
-fn fbits(x: f64) -> String {
+/// `f64` → bit-exact hex token (shared with the fleet layer's routing
+/// records, which render the same byte-comparable report idiom).
+pub(crate) fn fbits(x: f64) -> String {
     format!("{:016x}", x.to_bits())
 }
 

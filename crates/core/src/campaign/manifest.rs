@@ -452,7 +452,7 @@ impl CampaignManifest {
 
 /// `quick:<days> | small_2y | baseline_2y | one_year`, optionally with a
 /// default seed suffix `@<seed>` (the `seeds` axis overrides it per cell).
-fn parse_base(raw: &str, line: usize) -> Result<Scenario, ManifestError> {
+pub(crate) fn parse_base(raw: &str, line: usize) -> Result<Scenario, ManifestError> {
     let (preset, seed) = match raw.split_once('@') {
         Some((p, s)) => match s.trim().parse::<u64>() {
             Ok(seed) => (p.trim(), seed),
@@ -481,7 +481,7 @@ fn parse_base(raw: &str, line: usize) -> Result<Scenario, ManifestError> {
 }
 
 /// `lo..hi` (half-open, like Rust ranges) or a comma list `1, 2, 7`.
-fn parse_seeds(raw: &str, line: usize) -> Result<Vec<u64>, ManifestError> {
+pub(crate) fn parse_seeds(raw: &str, line: usize) -> Result<Vec<u64>, ManifestError> {
     if let Some((lo, hi)) = raw.split_once("..") {
         let (lo, hi) = match (lo.trim().parse::<u64>(), hi.trim().parse::<u64>()) {
             (Ok(lo), Ok(hi)) => (lo, hi),

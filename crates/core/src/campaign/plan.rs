@@ -46,11 +46,36 @@ impl CampaignManifest {
     /// Expand the manifest into its ordered cell list.
     ///
     /// Deterministic: depends only on the manifest, never on thread count
-    /// or timing. Fails if two cells would share an id — possible when an
-    /// axis sweeps values whose labels round to the same rendering (e.g.
-    /// `cap:160.2, cap:160.4` both label `static-cap-160W`) — because
-    /// downstream lookup (equivalence, migrated call sites) is by id.
+    /// or timing. Fails if the axis *names* are not unique and
+    /// whitespace-free (the text parser rejects duplicates, but
+    /// programmatic [`CampaignManifest::with_axis`] chains can repeat a
+    /// knob, and axis names are embedded verbatim in cell ids), or if two
+    /// cells would share an id — possible when an axis sweeps values whose
+    /// labels round to the same rendering (e.g. `cap:160.2, cap:160.4`
+    /// both label `static-cap-160W`) — because downstream lookup
+    /// (equivalence, migrated call sites) is by id.
     pub fn expand(&self) -> Result<CampaignPlan, ManifestError> {
+        let mut seen_axes = std::collections::HashSet::with_capacity(self.axes.len());
+        for axis in &self.axes {
+            let name = axis.knob.name();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(ManifestError {
+                    line: 0,
+                    msg: format!(
+                        "axis name `{name}` must be non-empty and whitespace-free \
+                         (axis names are embedded in cell ids)"
+                    ),
+                });
+            }
+            if !seen_axes.insert(name) {
+                return Err(ManifestError {
+                    line: 0,
+                    msg: format!(
+                        "duplicate axis `{name}` (each knob may be swept by at most one axis)"
+                    ),
+                });
+            }
+        }
         let mut dims: Vec<usize> = self.axes.iter().map(|a| a.values.len()).collect();
         dims.push(self.seeds.len()); // seed axis, innermost
         let mut cells = Vec::with_capacity(self.cell_count());
@@ -182,6 +207,22 @@ mod tests {
         );
         let e = m.expand().unwrap_err();
         assert!(e.msg.contains("duplicate cell id"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_axis_names_are_rejected_at_expansion() {
+        // The text parser rejects a repeated `axis policy = …` line, but a
+        // programmatic with_axis chain can sweep the same knob twice —
+        // expansion must catch it with a precise error.
+        let m = CampaignManifest::new("dup", Scenario::quick(3, 1))
+            .with_axis(Knob::Policy, vec![AxisValue::Policy(PolicyKind::Fcfs)])
+            .with_axis(
+                Knob::Policy,
+                vec![AxisValue::Policy(PolicyKind::EasyBackfill)],
+            );
+        let e = m.expand().unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.msg.contains("duplicate axis `policy`"), "{e}");
     }
 
     #[test]

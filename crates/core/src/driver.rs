@@ -631,41 +631,20 @@ pub struct World {
 
 impl World {
     /// Generate the world for a scenario on the schedule it selects.
+    ///
+    /// The fork's two sides consume disjoint stream families
+    /// (`climate.*`/`grid.*` vs `users.*` and the indexed `trace.*`
+    /// shards), so [`World::environment`] and [`World::build_trace`] can
+    /// also be called separately — in any order, even from different hubs
+    /// seeded alike — and reproduce exactly the pieces built here. The
+    /// fleet layer ([`crate::fleet`]) leans on that: one shared trace from
+    /// the base scenario, one environment per site.
     pub fn build(scenario: &Scenario) -> World {
-        let hub = greener_simkit::rng::RngHub::new(scenario.seed);
-        let calendar = Calendar::new(scenario.start);
-        let hours = scenario.horizon_hours;
         let parallel = scenario.worldgen == WorldGen::Parallel;
-
-        // The trace generator construction samples the user population
-        // (stream `users.population`) before the fork; the fork's two sides
-        // then consume disjoint stream families (`climate.*`/`grid.*` vs
-        // the indexed `trace.*` shards).
-        let conferences = scenario.effective_calendar();
-        let mut trace_cfg = scenario.trace.clone();
-        trace_cfg.demand.rolling = scenario.deadline_policy.is_rolling();
-        let generator = TraceGenerator::new(trace_cfg, &conferences, calendar, &hub);
-
         let ((weather, grid), trace) = greener_simkit::par::join(
             parallel,
-            || {
-                let weather =
-                    WeatherPath::generate_mode(&scenario.weather, calendar, hours, &hub, parallel);
-                let grid = GridPath::generate_mode(&scenario.grid, &weather, &hub, parallel);
-                (weather, grid)
-            },
-            || {
-                generator
-                    .generate_mode(hours, &hub, parallel)
-                    .into_iter()
-                    .map(|mut j| {
-                        // Cap gang sizes at the machine size so every job
-                        // is feasible.
-                        j.gpus = j.gpus.min(scenario.cluster.total_gpus());
-                        j
-                    })
-                    .collect::<Vec<Job>>()
-            },
+            || Self::environment(scenario),
+            || Self::build_trace(scenario),
         );
         World {
             seed: scenario.seed,
@@ -674,6 +653,52 @@ impl World {
             grid,
             trace,
         }
+    }
+
+    /// Generate only the scenario's environment — the hourly weather path
+    /// and the grid path that consumes it. Draws exactly the
+    /// `climate.*`/`grid.*` streams [`World::build`] draws on its
+    /// environment side, so the result is bit-identical to the
+    /// corresponding fields of a full build.
+    pub fn environment(scenario: &Scenario) -> (WeatherPath, GridPath) {
+        let hub = greener_simkit::rng::RngHub::new(scenario.seed);
+        let calendar = Calendar::new(scenario.start);
+        let parallel = scenario.worldgen == WorldGen::Parallel;
+        let weather = WeatherPath::generate_mode(
+            &scenario.weather,
+            calendar,
+            scenario.horizon_hours,
+            &hub,
+            parallel,
+        );
+        let grid = GridPath::generate_mode(&scenario.grid, &weather, &hub, parallel);
+        (weather, grid)
+    }
+
+    /// Generate only the scenario's job trace: dense ids in submit order,
+    /// gang sizes capped at the machine size. Draws exactly the `users.*`
+    /// and indexed `trace.*` streams [`World::build`] draws on its trace
+    /// side, so the result is bit-identical to the trace of a full build.
+    pub fn build_trace(scenario: &Scenario) -> Vec<Job> {
+        let hub = greener_simkit::rng::RngHub::new(scenario.seed);
+        let calendar = Calendar::new(scenario.start);
+        let parallel = scenario.worldgen == WorldGen::Parallel;
+        // The trace generator construction samples the user population
+        // (stream `users.population`) before generation proper.
+        let conferences = scenario.effective_calendar();
+        let mut trace_cfg = scenario.trace.clone();
+        trace_cfg.demand.rolling = scenario.deadline_policy.is_rolling();
+        let generator = TraceGenerator::new(trace_cfg, &conferences, calendar, &hub);
+        generator
+            .generate_mode(scenario.horizon_hours, &hub, parallel)
+            .into_iter()
+            .map(|mut j| {
+                // Cap gang sizes at the machine size so every job is
+                // feasible.
+                j.gpus = j.gpus.min(scenario.cluster.total_gpus());
+                j
+            })
+            .collect()
     }
 }
 

@@ -29,8 +29,11 @@
 //! The driver's unit tests route the Heap-vs-Calendar,
 //! Sequential-vs-Parallel, full-vs-aggregates, dispatch, apply and
 //! backfill Fast-vs-Reference axes
-//! through these helpers, and `tests/observe.rs` exercises the harness
-//! from outside the crate. Property tests randomize the matrix;
+//! through these helpers, the fleet layer pins its degenerate case the
+//! same way (a 1-site [`crate::fleet::FleetScenario`] under static
+//! routing must reproduce the single-site run bit-for-bit — see
+//! [`crate::fleet::fingerprint`]), and `tests/observe.rs` exercises the
+//! harness from outside the crate. Property tests randomize the matrix;
 //! [`proptest_cases`] lets CI boost their case count via `PROPTEST_CASES`
 //! without slowing the default test run.
 //!

@@ -63,6 +63,9 @@
 //!   expanding into ordered plans, shard-and-merge execution behind a
 //!   serialization boundary, and world-reuse caching across cells that
 //!   share world inputs.
+//! * [`fleet`] — the multi-site layer: per-site worlds over one shared
+//!   trace, a routing tier with geo-temporal carbon arbitrage policies,
+//!   and fleet manifests that expand like any other axis set.
 //! * [`optimize`] — Eq. 1 (facility-level) and Eq. 2 (per-user) problems
 //!   with a parallel grid-search optimizer (its grid search expands
 //!   through the campaign planner).
@@ -77,6 +80,7 @@ pub mod campaign;
 pub mod driver;
 pub mod equivalence;
 pub mod experiments;
+pub mod fleet;
 pub mod optimize;
 pub mod probe;
 pub mod profile;
@@ -87,6 +91,7 @@ pub mod trends;
 
 pub use campaign::{CampaignManifest, CampaignPlan, CampaignReport};
 pub use driver::{JobStats, RunResult, SimDriver};
+pub use fleet::{FleetDriver, FleetManifest, FleetRunOutput, FleetScenario, RoutingPolicyKind};
 pub use probe::{Observe, RunAggregates, RunOutput};
 pub use profile::ReplayProfile;
 pub use scenario::{DispatchPath, ForecastMode, Scenario};

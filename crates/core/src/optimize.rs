@@ -177,8 +177,12 @@ impl Eq1Problem {
         let cells: Vec<EvaluatedPoint> = report
             .cells
             .iter()
-            .zip(greener_simkit::sweep::grid2(qs_mults, policies))
-            .map(|(cell, (qs_mult, policy))| {
+            .zip(greener_simkit::sweep::gridn_indices(&[
+                qs_mults.len(),
+                policies.len(),
+            ]))
+            .map(|(cell, ix)| {
+                let (qs_mult, policy) = (qs_mults[ix[0]], policies[ix[1]]);
                 let activity = self.activity.of(&cell.jobs);
                 EvaluatedPoint {
                     point: DecisionPoint { qs_mult, policy },
@@ -337,10 +341,16 @@ mod tests {
             PolicyKind::Fcfs,
         ];
         let (cells, _) = problem.grid_search(&qs_mults, &policies);
-        let direct: Vec<EvaluatedPoint> = greener_simkit::sweep::grid2(&qs_mults, &policies)
-            .into_iter()
-            .map(|(qs_mult, policy)| problem.evaluate(DecisionPoint { qs_mult, policy }))
-            .collect();
+        let direct: Vec<EvaluatedPoint> =
+            greener_simkit::sweep::gridn_indices(&[qs_mults.len(), policies.len()])
+                .into_iter()
+                .map(|ix| {
+                    problem.evaluate(DecisionPoint {
+                        qs_mult: qs_mults[ix[0]],
+                        policy: policies[ix[1]],
+                    })
+                })
+                .collect();
         assert_eq!(cells.len(), direct.len());
         for (c, d) in cells.iter().zip(&direct) {
             assert_eq!(c.point, d.point);

@@ -333,6 +333,40 @@ impl GridPath {
         self.demand_mw.len()
     }
 
+    /// Mean carbon intensity (kg/MWh) over the forecast window
+    /// `[from, from + window)`, clamped to the path's horizon. A routing
+    /// tier reads this as a site's near-term carbon outlook: left-to-right
+    /// summation over a fixed window, so the value is a pure function of
+    /// `(path, from, window)` — deterministic at any thread count.
+    ///
+    /// # Panics
+    /// If `window` is zero or `from` is past the horizon.
+    pub fn window_mean_ci(&self, from: usize, window: usize) -> f64 {
+        Self::window_mean(&self.ci_kg_mwh, from, window)
+    }
+
+    /// Mean locational marginal price ($/MWh) over the forecast window
+    /// `[from, from + window)`, clamped to the horizon — the price
+    /// counterpart of [`GridPath::window_mean_ci`].
+    ///
+    /// # Panics
+    /// If `window` is zero or `from` is past the horizon.
+    pub fn window_mean_price(&self, from: usize, window: usize) -> f64 {
+        Self::window_mean(&self.lmp_usd_mwh, from, window)
+    }
+
+    fn window_mean(series: &[f64], from: usize, window: usize) -> f64 {
+        assert!(window > 0, "forecast window must be at least one hour");
+        assert!(
+            from < series.len(),
+            "window start {from} past horizon {}",
+            series.len()
+        );
+        let end = (from + window).min(series.len());
+        let slice = &series[from..end];
+        slice.iter().sum::<f64>() / slice.len() as f64
+    }
+
     /// Green share as a percentage series (Fig. 2/3 y₂-axis).
     pub fn green_share_pct_series(&self) -> HourlySeries {
         HourlySeries::from_values(

@@ -49,6 +49,23 @@
 //! merge orders by cell id — never by completion order. The campaign axis
 //! in `greener-core::equivalence` pins sharded/merged execution against
 //! straight per-cell runs.
+//!
+//! # The fleet layer between the levels
+//!
+//! `greener-core`'s fleet layer (multi-site runs behind a routing tier)
+//! slots *between* the two levels without adding a third threading
+//! regime. A fleet run is one sweep cell from the outer level's point of
+//! view; inside it, the inner level's primitives are reused twice —
+//! fleet world generation forks the shared trace against a
+//! [`crate::par::sharded_map`] over per-site environments (each site's
+//! weather/grid generators draw from that site's own named streams), and
+//! after a **sequential** routing pass splits the trace, per-site replays
+//! fan out through `sharded_map` again, one independent single-site
+//! engine per slot. The determinism contract is unchanged: routing is a
+//! pure sequential function of `(fleet, world)`, replays share nothing
+//! mutable, and results land in site-index order — so fleet reports are
+//! bit-identical at any thread count, pinned the same way campaign
+//! merges are.
 
 use crate::rng::RngHub;
 use rayon::prelude::*;
@@ -96,9 +113,10 @@ where
 /// `dims` — the single source of cartesian-product order in this
 /// workspace: the **first** axis is outermost (slowest), the **last** is
 /// innermost (fastest), exactly like nested `for` loops in declaration
-/// order. [`grid2`], [`grid3`] and [`gridn`] are all defined over it, and
-/// `greener-core`'s campaign plan expander walks it to assign stable cell
-/// indices.
+/// order. [`gridn`] is defined over it, `greener-core`'s campaign and
+/// fleet plan expanders walk it to assign stable cell indices, and the
+/// historical `grid2`/`grid3` tuple wrappers survive only as test-side
+/// shims cross-checking the same walk.
 ///
 /// `dims` containing a zero yields an empty product; an empty `dims`
 /// yields the one empty tuple (the nullary product).
@@ -132,8 +150,9 @@ pub fn gridn_indices(dims: &[usize]) -> Vec<Vec<usize>> {
 
 /// Cartesian product of N homogeneous axes, row-major (first axis
 /// outermost). This is the N-ary generalization manifest-driven sweeps
-/// expand through; prefer it (or [`gridn_indices`] for heterogeneous
-/// axes) over chaining [`grid2`]/[`grid3`] in new call sites.
+/// expand through; use it (or [`gridn_indices`] for heterogeneous axes)
+/// in every call site — the fixed-arity `grid2`/`grid3` wrappers are
+/// test-only shims now.
 pub fn gridn<T: Clone>(axes: &[Vec<T>]) -> Vec<Vec<T>> {
     let dims: Vec<usize> = axes.iter().map(Vec::len).collect();
     gridn_indices(&dims)
@@ -147,29 +166,6 @@ pub fn gridn<T: Clone>(axes: &[Vec<T>]) -> Vec<Vec<T>> {
         .collect()
 }
 
-/// Cartesian product of two axes, row-major (`a` outer, `b` inner).
-///
-/// Fixed-arity convenience over [`gridn_indices`]; new N-axis call sites
-/// should use [`gridn`]/[`gridn_indices`] directly (this survives for
-/// existing two-axis tuples only).
-pub fn grid2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
-    gridn_indices(&[a.len(), b.len()])
-        .into_iter()
-        .map(|ix| (a[ix[0]].clone(), b[ix[1]].clone()))
-        .collect()
-}
-
-/// Cartesian product of three axes, row-major.
-///
-/// Fixed-arity convenience over [`gridn_indices`]; like [`grid2`], prefer
-/// [`gridn`]/[`gridn_indices`] for new call sites.
-pub fn grid3<A: Clone, B: Clone, C: Clone>(a: &[A], b: &[B], c: &[C]) -> Vec<(A, B, C)> {
-    gridn_indices(&[a.len(), b.len(), c.len()])
-        .into_iter()
-        .map(|ix| (a[ix[0]].clone(), b[ix[1]].clone(), c[ix[2]].clone()))
-        .collect()
-}
-
 /// Inclusive linearly spaced axis with `n ≥ 2` points.
 pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(n >= 2, "linspace needs at least two points");
@@ -180,6 +176,26 @@ pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test-only shim of the retired two-axis tuple product: every
+    /// in-tree call site migrated onto [`gridn`]/[`gridn_indices`]; this
+    /// survives purely to cross-check the index walk against the
+    /// historical fixed-arity definition.
+    fn grid2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+        gridn_indices(&[a.len(), b.len()])
+            .into_iter()
+            .map(|ix| (a[ix[0]].clone(), b[ix[1]].clone()))
+            .collect()
+    }
+
+    /// Test-only shim of the retired three-axis tuple product (see
+    /// [`grid2`]).
+    fn grid3<A: Clone, B: Clone, C: Clone>(a: &[A], b: &[B], c: &[C]) -> Vec<(A, B, C)> {
+        gridn_indices(&[a.len(), b.len(), c.len()])
+            .into_iter()
+            .map(|ix| (a[ix[0]].clone(), b[ix[1]].clone(), c[ix[2]].clone()))
+            .collect()
+    }
 
     #[test]
     fn run_preserves_order() {
