@@ -69,10 +69,10 @@ use greener_core::campaign::process::{
     WorkerCommand,
 };
 use greener_core::campaign::{
-    partition, run_campaign, CampaignManifest, InProcessBackend, ShardBackend,
+    partition, run_campaign, CampaignError, CampaignManifest, InProcessBackend, Plan, ShardBackend,
 };
 use greener_core::driver::{SimDriver, World};
-use greener_core::fleet::{FleetDriver, FleetWorld, RoutingPolicyKind};
+use greener_core::fleet::{FleetDriver, FleetManifest, FleetWorld, RoutingPolicyKind};
 use greener_core::probe::Observe;
 use greener_core::profile::{ProfileCounter, ProfilePhase, ProfileSubPhase, ReplayProfile};
 use greener_core::scenario::Scenario;
@@ -380,29 +380,44 @@ fn time_fleet(min_runs: usize, budget_secs: f64) -> FleetMeasurement {
     }
 }
 
-/// `perfjson campaign-worker`: the process spawned per shard by
-/// [`ProcessBackend`]. Re-expands the manifest, runs its shard
-/// in-process, and publishes artifact then marker (both atomically).
-/// Honors `GREENER_FAULT` + `GREENER_WORKER_ATTEMPT` for deterministic
-/// fault injection: `crash`/`hang` fire *before* the manifest is read
+/// The worker body shared by `campaign-worker` and
+/// `fleet-campaign-worker` — the process spawned per shard by
+/// [`ProcessBackend`]. Re-expands the manifest through `expand` (the
+/// only plan-kind-specific step), runs its shard in-process, and
+/// publishes artifact then marker (both atomically). Honors
+/// `GREENER_FAULT` + `GREENER_WORKER_ATTEMPT` for deterministic fault
+/// injection: `crash`/`hang` fire *before* the manifest is read
 /// (simulating a worker that dies before any useful work),
 /// `corrupt`/`truncate` damage the artifact text just before publication
 /// — with the marker still written, so only validation can catch them.
-fn run_worker(args: &cli::WorkerArgs) {
+fn run_worker_impl<P: Plan>(
+    mode: &str,
+    args: &cli::WorkerArgs,
+    expand: impl FnOnce(&str) -> Result<P, String>,
+) {
     let die = |msg: String| -> ! {
-        eprintln!("campaign-worker: {msg}");
+        eprintln!("{mode}: {msg}");
         std::process::exit(2);
     };
-    let attempt: u32 = std::env::var("GREENER_WORKER_ATTEMPT")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    // Unset means a direct invocation outside a supervisor: attempt 0,
+    // so a hand-run worker behaves like a first attempt. Anything set
+    // but unparsable dies instead of defaulting — a mangled ordinal
+    // would silently re-fire first-attempt faults on every retry and
+    // the supervised campaign would burn its attempt budget on a
+    // spawn-environment bug.
+    let attempt: u32 = match std::env::var("GREENER_WORKER_ATTEMPT") {
+        Err(std::env::VarError::NotPresent) => 0,
+        Err(e) => die(format!("bad GREENER_WORKER_ATTEMPT: {e}")),
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| die(format!("bad GREENER_WORKER_ATTEMPT `{v}`"))),
+    };
     let faults = FaultPlan::from_env().unwrap_or_else(|e| die(e));
     let fault = faults.fault_for(args.shard, attempt);
     match fault {
         Some(FaultMode::Crash) => {
             eprintln!(
-                "campaign-worker: injected crash (shard {}, attempt {attempt})",
+                "{mode}: injected crash (shard {}, attempt {attempt})",
                 args.shard
             );
             std::process::exit(3);
@@ -414,20 +429,17 @@ fn run_worker(args: &cli::WorkerArgs) {
     }
     let manifest_text = std::fs::read_to_string(&args.manifest)
         .unwrap_or_else(|e| die(format!("read manifest `{}`: {e}", args.manifest)));
-    let plan = CampaignManifest::parse(&manifest_text)
-        .unwrap_or_else(|e| die(e.to_string()))
-        .expand()
-        .unwrap_or_else(|e| die(e.to_string()));
+    let plan = expand(&manifest_text).unwrap_or_else(|e| die(e));
     if args.shard >= args.of {
         die(format!("shard {} out of range 0..{}", args.shard, args.of));
     }
     let spec = partition(plan.len(), args.of)[args.shard];
     let artifact = InProcessBackend::default().run_shard(&plan, &spec);
     let mut text = artifact.text;
-    if let Some(mode) = fault {
-        mode.mangle(&mut text);
+    if let Some(mode_) = fault {
+        mode_.mangle(&mut text);
         eprintln!(
-            "campaign-worker: injected {mode:?} (shard {}, attempt {attempt})",
+            "{mode}: injected {mode_:?} (shard {}, attempt {attempt})",
             args.shard
         );
     }
@@ -441,15 +453,46 @@ fn run_worker(args: &cli::WorkerArgs) {
         .unwrap_or_else(|e| die(format!("publish marker: {e}")));
 }
 
-/// `perfjson campaign`: the supervised process-per-shard driver. Spawns
-/// this same binary in `campaign-worker` mode per shard, prints the
+/// `perfjson campaign-worker`: one **campaign** shard.
+fn run_worker(args: &cli::WorkerArgs) {
+    run_worker_impl("campaign-worker", args, |text| {
+        CampaignManifest::parse(text)
+            .map_err(|e| e.to_string())?
+            .expand()
+            .map_err(|e| e.to_string())
+    });
+}
+
+/// `perfjson fleet-campaign-worker`: one **fleet** shard. Identical
+/// contract; the manifest is a [`FleetManifest`].
+fn run_fleet_worker(args: &cli::WorkerArgs) {
+    run_worker_impl("fleet-campaign-worker", args, |text| {
+        FleetManifest::parse(text)
+            .map_err(|e| e.to_string())?
+            .expand()
+            .map_err(|e| e.to_string())
+    });
+}
+
+/// The supervised driver body shared by `campaign` and `fleet-campaign`.
+/// Spawns this same binary in `worker_mode` per shard, prints the
 /// byte-stable merged report followed by the diagnostic run report, and
 /// with `--check` compares the merged text against a clean in-process
 /// run (exit 1 on divergence). A `GREENER_FAULT` spec in the driver's
 /// environment is forwarded to workers through the supervisor config.
-fn run_campaign_cmd(args: &cli::CampaignArgs) {
+fn run_campaign_impl<P: Plan>(
+    mode: &str,
+    worker_mode: &str,
+    args: &cli::CampaignArgs,
+    build: impl FnOnce(
+        &str,
+        WorkerCommand,
+        &str,
+        SupervisorConfig,
+    ) -> Result<ProcessBackend<P>, CampaignError>,
+) {
     let die = |msg: String| -> ! {
-        eprintln!("campaign: {msg}");
+        eprintln!("{mode}: {msg}");
         std::process::exit(2);
     };
     let manifest_text = std::fs::read_to_string(&args.manifest)
@@ -457,7 +500,7 @@ fn run_campaign_cmd(args: &cli::CampaignArgs) {
     let program = std::env::current_exe().unwrap_or_else(|e| die(format!("current_exe: {e}")));
     let worker = WorkerCommand {
         program,
-        args: vec!["campaign-worker".into()],
+        args: vec![worker_mode.into()],
     };
     let config = SupervisorConfig {
         timeout: Duration::from_millis(args.timeout_ms),
@@ -468,8 +511,8 @@ fn run_campaign_cmd(args: &cli::CampaignArgs) {
             .filter(|s| !s.is_empty()),
         ..SupervisorConfig::default()
     };
-    let backend = ProcessBackend::new(&manifest_text, worker, &args.dir, config)
-        .unwrap_or_else(|e| die(e.to_string()));
+    let backend =
+        build(&manifest_text, worker, &args.dir, config).unwrap_or_else(|e| die(e.to_string()));
     let (report, run) = backend
         .run_supervised(args.shards)
         .unwrap_or_else(|e| die(e.to_string()));
@@ -487,18 +530,43 @@ fn run_campaign_cmd(args: &cli::CampaignArgs) {
     }
 }
 
+/// `perfjson campaign`: supervise a **campaign** manifest.
+fn run_campaign_cmd(args: &cli::CampaignArgs) {
+    run_campaign_impl(
+        "campaign",
+        "campaign-worker",
+        args,
+        |text, worker, dir, config| ProcessBackend::new(text, worker, dir, config),
+    );
+}
+
+/// `perfjson fleet-campaign`: supervise a **fleet** manifest through the
+/// identical supervision stack (timeouts, retries, resume, validation).
+fn run_fleet_campaign_cmd(args: &cli::CampaignArgs) {
+    run_campaign_impl(
+        "fleet-campaign",
+        "fleet-campaign-worker",
+        args,
+        |text, worker, dir, config| ProcessBackend::new_fleet(text, worker, dir, config),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let parsed = match cli::parse_command(&args) {
         Ok(Some(cli::Command::Perf(parsed))) => parsed,
         Ok(Some(cli::Command::Worker(w))) => return run_worker(&w),
         Ok(Some(cli::Command::Campaign(c))) => return run_campaign_cmd(&c),
+        Ok(Some(cli::Command::FleetWorker(w))) => return run_fleet_worker(&w),
+        Ok(Some(cli::Command::FleetCampaign(c))) => return run_fleet_campaign_cmd(&c),
         Ok(None) => {
             print!(
                 "{}",
                 match args.first().map(String::as_str) {
                     Some("campaign-worker") => cli::WORKER_USAGE,
                     Some("campaign") => cli::CAMPAIGN_USAGE,
+                    Some("fleet-campaign-worker") => cli::FLEET_WORKER_USAGE,
+                    Some("fleet-campaign") => cli::FLEET_CAMPAIGN_USAGE,
                     _ => cli::USAGE,
                 }
             );
@@ -560,6 +628,9 @@ fn main() {
 
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, m) in measurements.iter().enumerate() {
+        // `unwrap_or_default()` is the point here, not a swallowed error:
+        // `profile` is `None` whenever `--profile` wasn't requested, and
+        // the empty string simply omits the optional JSON field.
         let profile_field = m
             .profile
             .as_ref()

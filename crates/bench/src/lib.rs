@@ -95,19 +95,26 @@ pub mod cli {
     }
 
     /// A parsed `perfjson` invocation: the classic measurement mode, the
-    /// campaign-worker mode spawned by
-    /// `greener_core::campaign::process::ProcessBackend`, or the
-    /// supervised campaign driver.
+    /// worker modes spawned by
+    /// `greener_core::campaign::process::ProcessBackend` (campaign and
+    /// fleet plans), or the supervised drivers for either plan kind.
     #[derive(Debug, Clone, PartialEq, Eq)]
     pub enum Command {
         /// Measurement lanes (the default, no subcommand).
         Perf(PerfArgs),
-        /// `perfjson campaign-worker …`: run one shard and publish its
-        /// artifact + marker into the artifact directory.
+        /// `perfjson campaign-worker …`: run one campaign shard and
+        /// publish its artifact + marker into the artifact directory.
         Worker(WorkerArgs),
         /// `perfjson campaign …`: supervise a whole campaign
         /// process-per-shard.
         Campaign(CampaignArgs),
+        /// `perfjson fleet-campaign-worker …`: run one **fleet** shard
+        /// (the manifest is a fleet manifest) and publish its artifact +
+        /// marker.
+        FleetWorker(WorkerArgs),
+        /// `perfjson fleet-campaign …`: supervise a whole fleet sweep
+        /// process-per-shard — same supervision stack, fleet plan.
+        FleetCampaign(CampaignArgs),
     }
 
     /// `perfjson campaign-worker` arguments (all required; the supervisor
@@ -167,6 +174,24 @@ pub mod cli {
         \x20 --check         also run in-process and compare the merged reports\n\
         \x20 --no-resume     re-run every shard even if a valid artifact exists\n";
 
+    /// Usage text for the `fleet-campaign-worker` subcommand.
+    pub const FLEET_WORKER_USAGE: &str = "usage: perfjson fleet-campaign-worker \
+        --manifest <file> --shard <i> --of <k> --dir <dir>\n\
+        \n\
+        Runs one fleet-plan shard in-process and publishes its artifact and\n\
+        completion marker into <dir>. The manifest is a fleet manifest\n\
+        (greener_core::fleet::FleetManifest). Honors GREENER_FAULT and\n\
+        GREENER_WORKER_ATTEMPT exactly like campaign-worker.\n";
+
+    /// Usage text for the `fleet-campaign` subcommand.
+    pub const FLEET_CAMPAIGN_USAGE: &str = "usage: perfjson fleet-campaign --manifest <file> \
+        --shards <k> --dir <dir>\n\
+        \x20        [--timeout-ms <ms>] [--max-attempts <n>] [--check] [--no-resume]\n\
+        \n\
+        Supervises a fleet sweep process-per-shard (workers run in\n\
+        fleet-campaign-worker mode). Flags are identical to `campaign`;\n\
+        --manifest names a fleet manifest.\n";
+
     /// Take the value following flag `flag` from the iterator.
     fn take_value<'a, S: AsRef<str>>(
         flag: &str,
@@ -179,31 +204,35 @@ pub mod cli {
         }
     }
 
-    fn parse_worker<S: AsRef<str>>(args: &[S]) -> Result<Option<WorkerArgs>, String> {
+    fn parse_worker<S: AsRef<str>>(
+        args: &[S],
+        mode: &str,
+        usage: &str,
+    ) -> Result<Option<WorkerArgs>, String> {
         let (mut manifest, mut shard, mut of, mut dir) = (None, None, None, None);
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_ref() {
                 "--manifest" => {
-                    manifest = Some(take_value("--manifest", &mut it, WORKER_USAGE)?.to_string())
+                    manifest = Some(take_value("--manifest", &mut it, usage)?.to_string())
                 }
                 "--shard" => {
-                    let v = take_value("--shard", &mut it, WORKER_USAGE)?;
+                    let v = take_value("--shard", &mut it, usage)?;
                     shard = Some(
                         v.parse::<usize>()
-                            .map_err(|_| format!("bad --shard `{v}`\n{WORKER_USAGE}"))?,
+                            .map_err(|_| format!("bad --shard `{v}`\n{usage}"))?,
                     );
                 }
                 "--of" => {
-                    let v = take_value("--of", &mut it, WORKER_USAGE)?;
+                    let v = take_value("--of", &mut it, usage)?;
                     of = Some(
                         v.parse::<usize>()
-                            .map_err(|_| format!("bad --of `{v}`\n{WORKER_USAGE}"))?,
+                            .map_err(|_| format!("bad --of `{v}`\n{usage}"))?,
                     );
                 }
-                "--dir" => dir = Some(take_value("--dir", &mut it, WORKER_USAGE)?.to_string()),
+                "--dir" => dir = Some(take_value("--dir", &mut it, usage)?.to_string()),
                 "--help" | "-h" => return Ok(None),
-                unknown => return Err(format!("unknown flag `{unknown}`\n{WORKER_USAGE}")),
+                unknown => return Err(format!("unknown flag `{unknown}`\n{usage}")),
             }
         }
         match (manifest, shard, of, dir) {
@@ -214,12 +243,16 @@ pub mod cli {
                 dir,
             })),
             _ => Err(format!(
-                "campaign-worker needs --manifest, --shard, --of and --dir\n{WORKER_USAGE}"
+                "{mode} needs --manifest, --shard, --of and --dir\n{usage}"
             )),
         }
     }
 
-    fn parse_campaign<S: AsRef<str>>(args: &[S]) -> Result<Option<CampaignArgs>, String> {
+    fn parse_campaign<S: AsRef<str>>(
+        args: &[S],
+        mode: &str,
+        usage: &str,
+    ) -> Result<Option<CampaignArgs>, String> {
         let (mut manifest, mut shards, mut dir) = (None, None, None);
         let (mut timeout_ms, mut max_attempts) = (120_000u64, 3u32);
         let (mut check, mut resume) = (false, true);
@@ -227,35 +260,35 @@ pub mod cli {
         while let Some(arg) = it.next() {
             match arg.as_ref() {
                 "--manifest" => {
-                    manifest = Some(take_value("--manifest", &mut it, CAMPAIGN_USAGE)?.to_string())
+                    manifest = Some(take_value("--manifest", &mut it, usage)?.to_string())
                 }
                 "--shards" => {
-                    let v = take_value("--shards", &mut it, CAMPAIGN_USAGE)?;
+                    let v = take_value("--shards", &mut it, usage)?;
                     let k = v
                         .parse::<usize>()
-                        .map_err(|_| format!("bad --shards `{v}`\n{CAMPAIGN_USAGE}"))?;
+                        .map_err(|_| format!("bad --shards `{v}`\n{usage}"))?;
                     if k == 0 {
-                        return Err(format!("--shards must be positive\n{CAMPAIGN_USAGE}"));
+                        return Err(format!("--shards must be positive\n{usage}"));
                     }
                     shards = Some(k);
                 }
-                "--dir" => dir = Some(take_value("--dir", &mut it, CAMPAIGN_USAGE)?.to_string()),
+                "--dir" => dir = Some(take_value("--dir", &mut it, usage)?.to_string()),
                 "--timeout-ms" => {
-                    let v = take_value("--timeout-ms", &mut it, CAMPAIGN_USAGE)?;
+                    let v = take_value("--timeout-ms", &mut it, usage)?;
                     timeout_ms = v
                         .parse::<u64>()
-                        .map_err(|_| format!("bad --timeout-ms `{v}`\n{CAMPAIGN_USAGE}"))?;
+                        .map_err(|_| format!("bad --timeout-ms `{v}`\n{usage}"))?;
                 }
                 "--max-attempts" => {
-                    let v = take_value("--max-attempts", &mut it, CAMPAIGN_USAGE)?;
+                    let v = take_value("--max-attempts", &mut it, usage)?;
                     max_attempts = v
                         .parse::<u32>()
-                        .map_err(|_| format!("bad --max-attempts `{v}`\n{CAMPAIGN_USAGE}"))?;
+                        .map_err(|_| format!("bad --max-attempts `{v}`\n{usage}"))?;
                 }
                 "--check" => check = true,
                 "--no-resume" => resume = false,
                 "--help" | "-h" => return Ok(None),
-                unknown => return Err(format!("unknown flag `{unknown}`\n{CAMPAIGN_USAGE}")),
+                unknown => return Err(format!("unknown flag `{unknown}`\n{usage}")),
             }
         }
         match (manifest, shards, dir) {
@@ -269,20 +302,37 @@ pub mod cli {
                 resume,
             })),
             _ => Err(format!(
-                "campaign needs --manifest, --shards and --dir\n{CAMPAIGN_USAGE}"
+                "{mode} needs --manifest, --shards and --dir\n{usage}"
             )),
         }
     }
 
     /// Parse a full `perfjson` argument list, dispatching on an optional
-    /// leading subcommand (`campaign-worker`, `campaign`); anything else
-    /// goes through the classic strict flag parser. `Ok(None)` means help
-    /// was requested (the appropriate usage text was chosen by the
-    /// caller's subcommand).
+    /// leading subcommand (`campaign-worker`, `campaign`,
+    /// `fleet-campaign-worker`, `fleet-campaign`); anything else goes
+    /// through the classic strict flag parser. `Ok(None)` means help was
+    /// requested (the appropriate usage text was chosen by the caller's
+    /// subcommand).
     pub fn parse_command<S: AsRef<str>>(args: &[S]) -> Result<Option<Command>, String> {
         match args.first().map(AsRef::as_ref) {
-            Some("campaign-worker") => Ok(parse_worker(&args[1..])?.map(Command::Worker)),
-            Some("campaign") => Ok(parse_campaign(&args[1..])?.map(Command::Campaign)),
+            Some("campaign-worker") => {
+                Ok(parse_worker(&args[1..], "campaign-worker", WORKER_USAGE)?.map(Command::Worker))
+            }
+            Some("campaign") => {
+                Ok(parse_campaign(&args[1..], "campaign", CAMPAIGN_USAGE)?.map(Command::Campaign))
+            }
+            Some("fleet-campaign-worker") => {
+                Ok(
+                    parse_worker(&args[1..], "fleet-campaign-worker", FLEET_WORKER_USAGE)?
+                        .map(Command::FleetWorker),
+                )
+            }
+            Some("fleet-campaign") => {
+                Ok(
+                    parse_campaign(&args[1..], "fleet-campaign", FLEET_CAMPAIGN_USAGE)?
+                        .map(Command::FleetCampaign),
+                )
+            }
             _ => Ok(parse(args)?.map(Command::Perf)),
         }
     }
@@ -372,6 +422,69 @@ pub mod cli {
                 }
                 other => panic!("expected Campaign, got {other:?}"),
             }
+        }
+
+        #[test]
+        fn fleet_subcommands_parse_like_their_campaign_twins() {
+            // fleet-campaign-worker shares WorkerArgs with campaign-worker.
+            let cmd = parse_command(&[
+                "fleet-campaign-worker",
+                "--manifest",
+                "m.fleet",
+                "--shard",
+                "1",
+                "--of",
+                "3",
+                "--dir",
+                "art",
+            ])
+            .unwrap()
+            .unwrap();
+            assert_eq!(
+                cmd,
+                Command::FleetWorker(WorkerArgs {
+                    manifest: "m.fleet".into(),
+                    shard: 1,
+                    of: 3,
+                    dir: "art".into(),
+                })
+            );
+            // fleet-campaign shares CampaignArgs (defaults included).
+            match parse_command(&[
+                "fleet-campaign",
+                "--manifest",
+                "m.fleet",
+                "--shards",
+                "4",
+                "--dir",
+                "art",
+                "--no-resume",
+            ])
+            .unwrap()
+            .unwrap()
+            {
+                Command::FleetCampaign(a) => {
+                    assert_eq!((a.shards, a.timeout_ms, a.max_attempts), (4, 120_000, 3));
+                    assert!(!a.resume && !a.check);
+                }
+                other => panic!("expected FleetCampaign, got {other:?}"),
+            }
+            // Errors carry the fleet usage text, not the campaign one.
+            let e = parse_command(&["fleet-campaign-worker", "--shard", "0"]).unwrap_err();
+            assert!(e.contains("fleet-campaign-worker needs --manifest"), "{e}");
+            assert!(e.contains("perfjson fleet-campaign-worker"), "{e}");
+            let e = parse_command(&["fleet-campaign", "--manifest", "m"]).unwrap_err();
+            assert!(
+                e.contains("fleet-campaign needs --manifest, --shards"),
+                "{e}"
+            );
+            assert!(e.contains("perfjson fleet-campaign "), "{e}");
+            // Help short-circuits.
+            assert_eq!(parse_command(&["fleet-campaign", "--help"]).unwrap(), None);
+            assert_eq!(
+                parse_command(&["fleet-campaign-worker", "-h"]).unwrap(),
+                None
+            );
         }
 
         #[test]

@@ -19,14 +19,26 @@
 //! `assert_campaign_equivalent` axis in [`crate::equivalence`] pins
 //! sharded/merged execution against straight per-cell runs.
 //!
+//! # The plan seam
+//!
+//! Everything here is generic over [`Plan`]: an ordered cell list with
+//! stable ids, a cell runner, and a per-cell [`CellRecord`] that
+//! serializes to one artifact line. [`CampaignPlan`] (scenario sweeps)
+//! and [`crate::fleet::FleetPlan`] (fleet routing sweeps) both implement
+//! it, so fleet manifests shard, supervise, resume and merge through the
+//! **same** backends — partitioning, artifact validation, merging and the
+//! equivalence axis have zero plan-kind-specific code paths.
+//!
 //! # World reuse
 //!
-//! [`InProcessBackend`] keys each cell by
+//! [`InProcessBackend`] asks the plan to run each shard's cell range with
+//! `world_reuse` on; [`CampaignPlan`] keys each cell by
 //! [`Scenario::world_inputs_key`](crate::scenario::Scenario::world_inputs_key) and builds each distinct world once per
 //! shard, replaying every matching cell over it via the aggregates-only
 //! observation fast path — exactly the by-hand pattern the bench crate
 //! established, now automatic. On a policy-only campaign this turns
-//! O(cells) world builds into O(distinct seeds) per shard.
+//! O(cells) world builds into O(distinct seeds) per shard. (The fleet
+//! plan does the same with whole fleet worlds, keyed per site.)
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -36,6 +48,7 @@ use greener_simkit::sweep;
 use greener_simkit::units::Energy;
 
 use crate::driver::{JobStats, SimDriver, World};
+use crate::equivalence::Fingerprint;
 use crate::probe::{Observe, RunAggregates};
 
 use super::plan::{CampaignCell, CampaignPlan};
@@ -217,6 +230,84 @@ pub fn partition(n_cells: usize, k: usize) -> Vec<ShardSpec> {
     specs
 }
 
+/// The per-cell result record a plan serializes into shard artifacts: one
+/// whitespace-separated line per cell (first token a stable tag, floats
+/// as `to_bits` hex), with `parse_line ∘ to_line` the identity.
+/// [`CellResult`] (campaign cells) and
+/// [`crate::fleet::FleetCellResult`] (fleet cells) implement it; the
+/// artifact composer, validator, merge and report are generic over it.
+pub trait CellRecord: Clone + Send + PartialEq + std::fmt::Debug {
+    /// The cell's plan index (merge position).
+    fn index(&self) -> usize;
+
+    /// The cell's stable id.
+    fn id(&self) -> &str;
+
+    /// Serialize to one artifact line (bit-exact roundtrip through
+    /// [`CellRecord::parse_line`]).
+    fn to_line(&self) -> String;
+
+    /// Parse one artifact line (inverse of [`CellRecord::to_line`]).
+    fn parse_line(line: &str) -> Result<Self, CampaignError>;
+
+    /// Condense the record for the equivalence harness. Artifact lines
+    /// carry aggregates only, so `records` is `None` and per-job record
+    /// comparison is (one-sidedly) skipped, as with the aggregates-only
+    /// observation axis.
+    fn fingerprint(&self) -> Fingerprint;
+}
+
+/// A plan the campaign execution stack can shard, run, serialize and
+/// merge: an ordered cell list with stable whitespace-free ids, a cell
+/// runner, and a per-cell straight-run reference for the equivalence
+/// axis. [`CampaignPlan`] and [`crate::fleet::FleetPlan`] implement it —
+/// that shared seam is what routes fleet sweeps through
+/// [`InProcessBackend`] and the supervised process backend with zero
+/// bespoke code paths.
+pub trait Plan: Sync {
+    /// The record type this plan's cells produce.
+    type Record: CellRecord;
+
+    /// File name the process backend publishes the manifest under in its
+    /// artifact directory (`manifest.campaign` / `manifest.fleet`), so
+    /// the directory is self-describing about which worker mode
+    /// re-expands it.
+    const MANIFEST_FILE: &'static str;
+
+    /// Plan name (prefixes every cell id).
+    fn name(&self) -> &str;
+
+    /// Number of cells.
+    fn len(&self) -> usize;
+
+    /// Whether the plan has no cells.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cell `index`'s stable id (unique within the plan,
+    /// whitespace-free).
+    fn cell_id(&self, index: usize) -> &str;
+
+    /// Cell `index`'s debug-formatted full configuration, as sealed into
+    /// [`plan_fingerprint`]. f64 fields render shortest-roundtrip in
+    /// `Debug` (injective over finite values), so any configuration edit
+    /// re-fingerprints the plan even when cell ids stay put.
+    fn cell_config(&self, index: usize) -> String;
+
+    /// Run cells `start..end` in plan order and return their records in
+    /// that order. `world_reuse` builds each distinct world once per call
+    /// instead of once per cell; both modes must produce identical bytes
+    /// (the reuse invariant every plan kind pins in tests).
+    fn run_cells(&self, start: usize, end: usize, world_reuse: bool) -> Vec<Self::Record>;
+
+    /// The straight-run reference fingerprint for cell `index` (fresh
+    /// world, no sharding, no reuse) — what
+    /// [`crate::equivalence::assert_campaign_equivalent`] compares every
+    /// merged record against.
+    fn reference_fingerprint(&self, index: usize) -> Fingerprint;
+}
+
 /// One cell's aggregate results, as carried by artifacts and reports.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
@@ -232,18 +323,22 @@ pub struct CellResult {
     pub battery_cycles: f64,
 }
 
-/// Fingerprint of a fully-expanded plan: FNV-1a over the campaign name,
-/// cell count, and every cell's id **and** debug-formatted scenario.
-/// Two plans agree iff their expansions are observably identical, so an
-/// artifact stamped with this fingerprint can be rejected as *stale* when
-/// the manifest changed in any way — including base-scenario edits that
-/// cell ids alone would not reveal (f64 fields render shortest-roundtrip
-/// in `Debug`, which is injective over finite values).
-pub fn plan_fingerprint(plan: &CampaignPlan) -> u64 {
+/// Fingerprint of a fully-expanded plan: FNV-1a over the plan name, cell
+/// count, and every cell's id **and** debug-formatted configuration
+/// ([`Plan::cell_config`]). Two plans agree iff their expansions are
+/// observably identical, so an artifact stamped with this fingerprint can
+/// be rejected as *stale* when the manifest changed in any way —
+/// including base-scenario edits that cell ids alone would not reveal.
+pub fn plan_fingerprint<P: Plan>(plan: &P) -> u64 {
     let mut text = String::new();
-    let _ = write!(text, "{}\u{1e}{}", plan.name, plan.cells.len());
-    for cell in &plan.cells {
-        let _ = write!(text, "\u{1e}{}\u{1f}{:?}", cell.id, cell.scenario);
+    let _ = write!(text, "{}\u{1e}{}", plan.name(), plan.len());
+    for i in 0..plan.len() {
+        let _ = write!(
+            text,
+            "\u{1e}{}\u{1f}{}",
+            plan.cell_id(i),
+            plan.cell_config(i)
+        );
     }
     fnv1a(text.as_bytes())
 }
@@ -277,15 +372,16 @@ pub(crate) fn fbits(x: f64) -> String {
     format!("{:016x}", x.to_bits())
 }
 
-/// Bit-exact hex token → `f64`.
-fn parse_fbits(tok: &str) -> Result<f64, CampaignError> {
+/// Bit-exact hex token → `f64` (shared with the fleet layer's cell
+/// records).
+pub(crate) fn parse_fbits(tok: &str) -> Result<f64, CampaignError> {
     match u64::from_str_radix(tok, 16) {
         Ok(bits) => Ok(f64::from_bits(bits)),
         Err(_) => cerr(format!("bad f64 bits token `{tok}`")),
     }
 }
 
-fn parse_usize(tok: &str) -> Result<usize, CampaignError> {
+pub(crate) fn parse_usize(tok: &str) -> Result<usize, CampaignError> {
     tok.parse::<usize>().map_err(|_| CampaignError {
         msg: format!("bad integer token `{tok}`"),
     })
@@ -370,10 +466,10 @@ impl CellResult {
 }
 
 impl ShardArtifact {
-    /// Serialize `cells` (the results for `shard`'s range, in plan order)
+    /// Serialize `cells` (the records for `shard`'s range, in plan order)
     /// into the versioned artifact format, stamping the producing plan's
     /// fingerprint and sealing the text with its checksum trailer.
-    pub fn compose(plan_fp: u64, shard: &ShardSpec, cells: &[CellResult]) -> ShardArtifact {
+    pub fn compose<C: CellRecord>(plan_fp: u64, shard: &ShardSpec, cells: &[C]) -> ShardArtifact {
         let mut text = format!(
             "artifact v1 plan {plan_fp:016x} shard {} of {} range {} {}\n",
             shard.shard, shard.of, shard.start, shard.end
@@ -399,12 +495,12 @@ impl ShardArtifact {
     /// `range.start..range.end`, in order) and id agreement with the
     /// plan. Checksum precedes freshness so a damaged fingerprint field
     /// reads as corruption, not staleness.
-    pub fn validate(
+    pub fn validate<P: Plan>(
         &self,
-        plan: &CampaignPlan,
+        plan: &P,
         plan_fp: u64,
         expect: Option<&ShardSpec>,
-    ) -> Result<Vec<CellResult>, ArtifactIssue> {
+    ) -> Result<Vec<P::Record>, ArtifactIssue> {
         let parse = ArtifactIssue::Parse;
         let invalid = ArtifactIssue::Validation;
         let text = &self.text;
@@ -499,19 +595,21 @@ impl ShardArtifact {
         }
         let mut cells = Vec::with_capacity(body.len());
         for (offset, line) in body.iter().enumerate() {
-            let cell = CellResult::parse_line(line).map_err(|e| parse(e.msg))?;
+            let cell = P::Record::parse_line(line).map_err(|e| parse(e.msg))?;
             let expected_index = start + offset;
-            if cell.index != expected_index {
+            if cell.index() != expected_index {
                 return Err(invalid(format!(
                     "cell at artifact position {offset} has index {} (expected \
                      {expected_index}: cells must cover the range in plan order)",
-                    cell.index
+                    cell.index()
                 )));
             }
-            if plan.cells[cell.index].id != cell.id {
+            if plan.cell_id(cell.index()) != cell.id() {
                 return Err(invalid(format!(
                     "cell index {} id mismatch: plan says `{}`, artifact says `{}`",
-                    cell.index, plan.cells[cell.index].id, cell.id
+                    cell.index(),
+                    plan.cell_id(cell.index()),
+                    cell.id()
                 )));
             }
             cells.push(cell);
@@ -520,26 +618,22 @@ impl ShardArtifact {
     }
 }
 
-/// How a shard of a plan gets executed. The in-process backend below is
-/// the only implementation today; the contract is shaped so a
-/// process-per-shard or distributed backend (serialize the shard spec
+/// How a shard of a plan gets executed, generic over the plan kind. The
+/// in-process backend below runs any [`Plan`]; the contract is shaped so
+/// a process-per-shard or distributed backend (serialize the shard spec
 /// out, collect artifact text back) drops in without touching the
 /// expander or the merge.
-pub trait ShardBackend: Sync {
+pub trait ShardBackend<P: Plan>: Sync {
     /// Run every cell in `shard`'s range and return the serialized
     /// artifact, cells in plan order.
-    fn run_shard(&self, plan: &CampaignPlan, shard: &ShardSpec) -> ShardArtifact;
+    fn run_shard(&self, plan: &P, shard: &ShardSpec) -> ShardArtifact;
 
     /// Fallible counterpart of [`ShardBackend::run_shard`]. Infallible
     /// backends get this for free (in-process execution can only fail by
     /// panicking, which stays a panic); supervising backends override it
     /// to surface spawn/exit/timeout/parse/validation failures as
     /// [`ShardError`] after their retry budget is spent.
-    fn try_run_shard(
-        &self,
-        plan: &CampaignPlan,
-        shard: &ShardSpec,
-    ) -> Result<ShardArtifact, ShardError> {
+    fn try_run_shard(&self, plan: &P, shard: &ShardSpec) -> Result<ShardArtifact, ShardError> {
         Ok(self.run_shard(plan, shard))
     }
 }
@@ -575,13 +669,67 @@ impl InProcessBackend {
     }
 }
 
-impl ShardBackend for InProcessBackend {
-    fn run_shard(&self, plan: &CampaignPlan, shard: &ShardSpec) -> ShardArtifact {
-        let cells = &plan.cells[shard.start..shard.end];
+impl<P: Plan> ShardBackend<P> for InProcessBackend {
+    fn run_shard(&self, plan: &P, shard: &ShardSpec) -> ShardArtifact {
+        let results = plan.run_cells(shard.start, shard.end, self.world_reuse);
+        ShardArtifact::compose(plan_fingerprint(plan), shard, &results)
+    }
+}
+
+impl CellRecord for CellResult {
+    fn index(&self) -> usize {
+        self.index
+    }
+
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn to_line(&self) -> String {
+        CellResult::to_line(self)
+    }
+
+    fn parse_line(line: &str) -> Result<CellResult, CampaignError> {
+        CellResult::parse_line(line)
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint {
+            energy_bits: self.aggregates.energy_kwh.to_bits(),
+            carbon_bits: self.aggregates.carbon_kg.to_bits(),
+            completed: self.jobs.completed,
+            records: None,
+        }
+    }
+}
+
+impl Plan for CampaignPlan {
+    type Record = CellResult;
+
+    const MANIFEST_FILE: &'static str = "manifest.campaign";
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn cell_id(&self, index: usize) -> &str {
+        &self.cells[index].id
+    }
+
+    fn cell_config(&self, index: usize) -> String {
+        format!("{:?}", self.cells[index].scenario)
+    }
+
+    fn run_cells(&self, start: usize, end: usize, world_reuse: bool) -> Vec<CellResult> {
+        let cells = &self.cells[start..end];
         let mut worlds: HashMap<String, World> = HashMap::new();
         let mut results = Vec::with_capacity(cells.len());
         for cell in cells {
-            results.push(if self.world_reuse {
+            results.push(if world_reuse {
                 let world = worlds
                     .entry(cell.scenario.world_inputs_key())
                     .or_insert_with(|| World::build(&cell.scenario));
@@ -590,30 +738,37 @@ impl ShardBackend for InProcessBackend {
                 InProcessBackend::run_cell(cell, &World::build(&cell.scenario))
             });
         }
-        ShardArtifact::compose(plan_fingerprint(plan), shard, &results)
+        results
+    }
+
+    fn reference_fingerprint(&self, index: usize) -> Fingerprint {
+        crate::equivalence::fingerprint(&self.cells[index].scenario)
     }
 }
 
-/// The merged output of a campaign: every cell's result, in plan order.
+/// The merged output of a campaign: every cell's record, in plan order.
+/// Generic over the record kind (defaulting to campaign cells, so
+/// existing `CampaignReport` annotations keep meaning what they did);
+/// fleet campaigns merge into a `CampaignReport<FleetCellResult>`.
 #[derive(Debug, Clone, PartialEq)]
-pub struct CampaignReport {
-    /// Campaign name.
+pub struct CampaignReport<C = CellResult> {
+    /// Plan name.
     pub name: String,
-    /// Per-cell results; `cells[i].index == i`.
-    pub cells: Vec<CellResult>,
+    /// Per-cell records; `cells[i].index == i`.
+    pub cells: Vec<C>,
 }
 
-impl CampaignReport {
-    /// Look a cell up by id (the id doubles as the scenario name, so
-    /// equivalence runners and migrated call sites key on it).
-    pub fn get(&self, id: &str) -> Option<&CellResult> {
-        self.cells.iter().find(|c| c.id == id)
+impl<C: CellRecord> CampaignReport<C> {
+    /// Look a cell up by id (the id doubles as the scenario/fleet name,
+    /// so equivalence runners and migrated call sites key on it).
+    pub fn get(&self, id: &str) -> Option<&C> {
+        self.cells.iter().find(|c| c.id() == id)
     }
 
     /// The canonical serialized report: one line per cell, in plan order,
     /// preceded by a header. Byte-identical across shard counts and
-    /// thread counts — this is the text the CI campaign smoke job
-    /// compares.
+    /// thread counts — this is the text the CI campaign smoke jobs
+    /// compare.
     pub fn to_text(&self) -> String {
         let mut out = format!("campaign {} cells {}\n", self.name, self.cells.len());
         for c in &self.cells {
@@ -629,12 +784,12 @@ impl CampaignReport {
 /// fingerprint, range, per-cell ids — with the plan fingerprint computed
 /// once here, not per artifact), then each cell is placed by plan index
 /// with coverage validation: every plan cell exactly once.
-pub fn merge_artifacts(
-    plan: &CampaignPlan,
+pub fn merge_artifacts<P: Plan>(
+    plan: &P,
     artifacts: &[ShardArtifact],
-) -> Result<CampaignReport, CampaignError> {
+) -> Result<CampaignReport<P::Record>, CampaignError> {
     let plan_fp = plan_fingerprint(plan);
-    let mut slots: Vec<Option<CellResult>> = vec![None; plan.len()];
+    let mut slots: Vec<Option<P::Record>> = vec![None; plan.len()];
     for (nth, artifact) in artifacts.iter().enumerate() {
         let cells = artifact
             .validate(plan, plan_fp, None)
@@ -643,9 +798,9 @@ pub fn merge_artifacts(
             })?;
         for cell in cells {
             // validate() bounds-checked the range against the plan.
-            let slot = &mut slots[cell.index];
+            let slot = &mut slots[cell.index()];
             if slot.is_some() {
-                return cerr(format!("cell {} delivered twice", cell.id));
+                return cerr(format!("cell {} delivered twice", cell.id()));
             }
             *slot = Some(cell);
         }
@@ -657,13 +812,13 @@ pub fn merge_artifacts(
             None => {
                 return cerr(format!(
                     "cell `{}` missing from every artifact",
-                    plan.cells[i].id
+                    plan.cell_id(i)
                 ))
             }
         }
     }
     Ok(CampaignReport {
-        name: plan.name.clone(),
+        name: plan.name().to_string(),
         cells,
     })
 }
@@ -677,11 +832,11 @@ pub fn merge_artifacts(
 /// backend's own recovery (retries, resume) is exhausted, the error for
 /// the **lowest-indexed** failing shard is reported — deterministic no
 /// matter which shard's thread finished first.
-pub fn run_campaign(
-    plan: &CampaignPlan,
-    backend: &impl ShardBackend,
+pub fn run_campaign<P: Plan>(
+    plan: &P,
+    backend: &impl ShardBackend<P>,
     shards: usize,
-) -> Result<CampaignReport, CampaignError> {
+) -> Result<CampaignReport<P::Record>, CampaignError> {
     let specs = partition(plan.len(), shards);
     let outcomes = sweep::run(&specs, |spec| backend.try_run_shard(plan, spec));
     let mut artifacts = Vec::with_capacity(outcomes.len());

@@ -64,6 +64,46 @@
 //! supervised campaigns complete despite every injected failure — the CI
 //! `campaign-faults` smoke runs exactly that matrix.
 //!
+//! # Plan kinds: campaign and fleet sweeps
+//!
+//! The execution stack is generic over the **[`Plan`] seam** (plan +
+//! [`CellRecord`], see [`exec`]): everything from [`partition`] through
+//! [`ShardArtifact`] validation, [`merge_artifacts`], [`run_campaign`]
+//! and the supervised [`process::ProcessBackend`] works identically for
+//! two plan kinds —
+//!
+//! * **[`CampaignPlan`]** (`cell` records, manifest published as
+//!   `manifest.campaign`, built by [`process::ProcessBackend::new`]),
+//! * **[`crate::fleet::FleetPlan`]** (`fleet-cell` records, manifest
+//!   published as `manifest.fleet`, built by
+//!   [`process::ProcessBackend::new_fleet`]; workers run in `perfjson
+//!   fleet-campaign-worker` mode).
+//!
+//! A fleet sweep therefore inherits the whole fault-tolerance story —
+//! timeouts, seeded-backoff retries, fault injection, artifact
+//! validation, resume — with zero bespoke code paths, and its merged
+//! report obeys the same merge-determinism invariant:
+//!
+//! ```
+//! use greener_core::campaign::{run_campaign, InProcessBackend};
+//! use greener_core::fleet::FleetManifest;
+//!
+//! let plan = FleetManifest::parse(
+//!     "name = demo
+//!      base = quick:2@7
+//!      sites = 2
+//!      axis routing = static, greedy-carbon",
+//! )
+//! .unwrap()
+//! .expand()
+//! .unwrap();
+//! let backend = InProcessBackend::default();
+//! let one = run_campaign(&plan, &backend, 1).unwrap().to_text();
+//! let three = run_campaign(&plan, &backend, 3).unwrap().to_text();
+//! assert_eq!(one, three);
+//! assert!(one.lines().nth(1).unwrap().starts_with("fleet-cell"));
+//! ```
+//!
 //! # Manifest format
 //!
 //! Line-oriented; `#` starts a comment; blank lines ignored.
@@ -124,8 +164,8 @@ pub mod process;
 
 pub use exec::{
     merge_artifacts, partition, plan_fingerprint, run_campaign, ArtifactIssue, CampaignError,
-    CampaignReport, CellResult, InProcessBackend, ShardArtifact, ShardBackend, ShardError,
-    ShardSpec,
+    CampaignReport, CellRecord, CellResult, InProcessBackend, Plan, ShardArtifact, ShardBackend,
+    ShardError, ShardSpec,
 };
 pub use manifest::{Axis, AxisValue, CampaignManifest, Knob, ManifestError};
 pub use plan::{CampaignCell, CampaignPlan};

@@ -16,6 +16,7 @@
 //!
 //! ```text
 //! <dir>/manifest.campaign     # the manifest text workers re-expand
+//!                             # (manifest.fleet for fleet plans)
 //! <dir>/shard-<i>-of-<k>.art  # one validated ShardArtifact per shard
 //! <dir>/shard-<i>-of-<k>.ok   # completion marker, written after the artifact
 //! ```
@@ -56,11 +57,12 @@ use greener_simkit::proc::{wait_with_timeout, write_atomic, WaitOutcome};
 use greener_simkit::rng::splitmix64;
 
 use super::exec::{
-    plan_fingerprint, CampaignError, CampaignReport, ShardArtifact, ShardBackend, ShardError,
+    plan_fingerprint, CampaignError, CampaignReport, Plan, ShardArtifact, ShardBackend, ShardError,
     ShardSpec,
 };
 use super::manifest::CampaignManifest;
 use super::plan::CampaignPlan;
+use crate::fleet::{FleetManifest, FleetPlan};
 
 /// A failure mode a worker can be told to exhibit, for tests and smoke
 /// runs. `Crash`/`Hang` fire before the worker reads its manifest;
@@ -418,9 +420,17 @@ pub fn marker_file_name(shard: usize, of: usize) -> String {
 /// shard, retries with deterministic backoff, validates artifacts, and
 /// resumes from the artifact directory. See the [module docs](self) for
 /// the directory layout and invariants.
+///
+/// Generic over the plan kind: [`ProcessBackend::new`] supervises
+/// campaign manifests (workers in `campaign-worker` mode),
+/// [`ProcessBackend::new_fleet`] supervises fleet manifests (workers in
+/// `fleet-campaign-worker` mode). Every supervision mechanism — resume,
+/// retry, backoff, validation, fault forwarding — is shared; the plan
+/// kind only decides how the manifest text expands and which file name
+/// ([`Plan::MANIFEST_FILE`]) it is published under.
 #[derive(Debug)]
-pub struct ProcessBackend {
-    plan: CampaignPlan,
+pub struct ProcessBackend<P: Plan = CampaignPlan> {
+    plan: P,
     plan_fp: u64,
     dir: PathBuf,
     manifest_path: PathBuf,
@@ -429,28 +439,63 @@ pub struct ProcessBackend {
     stats: Mutex<Vec<ShardRunStats>>,
 }
 
-impl ProcessBackend {
-    /// Build a backend for `manifest_text`: parse + expand it (workers
-    /// will re-expand the identical text), create the artifact directory,
-    /// and publish `<dir>/manifest.campaign` atomically.
+impl ProcessBackend<CampaignPlan> {
+    /// Build a backend for a **campaign** manifest: parse + expand it
+    /// (workers will re-expand the identical text), create the artifact
+    /// directory, and publish `<dir>/manifest.campaign` atomically.
     pub fn new(
         manifest_text: &str,
         worker: WorkerCommand,
         dir: impl Into<PathBuf>,
         config: SupervisorConfig,
-    ) -> Result<ProcessBackend, CampaignError> {
-        let dir = dir.into();
+    ) -> Result<ProcessBackend<CampaignPlan>, CampaignError> {
         let manifest_err = |e: super::manifest::ManifestError| CampaignError { msg: e.to_string() };
         let plan = CampaignManifest::parse(manifest_text)
             .map_err(manifest_err)?
             .expand()
             .map_err(manifest_err)?;
+        ProcessBackend::with_plan(plan, manifest_text, worker, dir, config)
+    }
+}
+
+impl ProcessBackend<FleetPlan> {
+    /// Build a backend for a **fleet** manifest: parse + expand it
+    /// through [`FleetManifest`], create the artifact directory, and
+    /// publish `<dir>/manifest.fleet` atomically. Workers must run in
+    /// `fleet-campaign-worker` mode (they re-expand the fleet manifest).
+    pub fn new_fleet(
+        manifest_text: &str,
+        worker: WorkerCommand,
+        dir: impl Into<PathBuf>,
+        config: SupervisorConfig,
+    ) -> Result<ProcessBackend<FleetPlan>, CampaignError> {
+        let manifest_err = |e: super::manifest::ManifestError| CampaignError { msg: e.to_string() };
+        let plan = FleetManifest::parse(manifest_text)
+            .map_err(manifest_err)?
+            .expand()
+            .map_err(manifest_err)?;
+        ProcessBackend::with_plan(plan, manifest_text, worker, dir, config)
+    }
+}
+
+impl<P: Plan> ProcessBackend<P> {
+    /// Shared constructor tail: fingerprint the expanded plan, create the
+    /// artifact directory, and publish the manifest text under the plan
+    /// kind's [`Plan::MANIFEST_FILE`] name.
+    fn with_plan(
+        plan: P,
+        manifest_text: &str,
+        worker: WorkerCommand,
+        dir: impl Into<PathBuf>,
+        config: SupervisorConfig,
+    ) -> Result<ProcessBackend<P>, CampaignError> {
+        let dir = dir.into();
         let plan_fp = plan_fingerprint(&plan);
         let io = |what: &str, e: std::io::Error| CampaignError {
             msg: format!("{what} `{}`: {e}", dir.display()),
         };
         std::fs::create_dir_all(&dir).map_err(|e| io("create artifact dir", e))?;
-        let manifest_path = dir.join("manifest.campaign");
+        let manifest_path = dir.join(P::MANIFEST_FILE);
         write_atomic(&manifest_path, manifest_text.as_bytes())
             .map_err(|e| io("write manifest into", e))?;
         Ok(ProcessBackend {
@@ -465,7 +510,7 @@ impl ProcessBackend {
     }
 
     /// The plan this backend executes (expanded from its manifest).
-    pub fn plan(&self) -> &CampaignPlan {
+    pub fn plan(&self) -> &P {
         &self.plan
     }
 
@@ -486,7 +531,7 @@ impl ProcessBackend {
     pub fn run_supervised(
         &self,
         shards: usize,
-    ) -> Result<(CampaignReport, CampaignRunReport), CampaignError> {
+    ) -> Result<(CampaignReport<P::Record>, CampaignRunReport), CampaignError> {
         self.stats.lock().unwrap().clear();
         let report = super::exec::run_campaign(&self.plan, self, shards)?;
         let stats = std::mem::take(&mut *self.stats.lock().unwrap());
@@ -498,7 +543,7 @@ impl ProcessBackend {
     /// leftovers so the shard re-runs cleanly, bumping the stats counter.
     fn try_resume(
         &self,
-        plan: &CampaignPlan,
+        plan: &P,
         spec: &ShardSpec,
         stats: &mut ShardRunStats,
     ) -> Option<ShardArtifact> {
@@ -523,7 +568,7 @@ impl ProcessBackend {
     /// Launch one worker attempt for `spec` and collect its artifact.
     fn run_attempt(
         &self,
-        plan: &CampaignPlan,
+        plan: &P,
         spec: &ShardSpec,
         attempt: u32,
     ) -> Result<ShardArtifact, ShardError> {
@@ -593,11 +638,7 @@ impl ProcessBackend {
 
     /// Supervise one shard end to end: resume, then attempt/retry with
     /// deterministic backoff until success or the retry budget runs out.
-    fn supervise(
-        &self,
-        plan: &CampaignPlan,
-        spec: &ShardSpec,
-    ) -> Result<ShardArtifact, ShardError> {
+    fn supervise(&self, plan: &P, spec: &ShardSpec) -> Result<ShardArtifact, ShardError> {
         let mut stats = ShardRunStats::new(spec.shard, spec.of);
         let outcome = self.supervise_inner(plan, spec, &mut stats);
         stats.succeeded = outcome.is_ok();
@@ -608,7 +649,7 @@ impl ProcessBackend {
 
     fn supervise_inner(
         &self,
-        plan: &CampaignPlan,
+        plan: &P,
         spec: &ShardSpec,
         stats: &mut ShardRunStats,
     ) -> Result<ShardArtifact, ShardError> {
@@ -639,17 +680,13 @@ impl ProcessBackend {
     }
 }
 
-impl ShardBackend for ProcessBackend {
-    fn run_shard(&self, plan: &CampaignPlan, shard: &ShardSpec) -> ShardArtifact {
+impl<P: Plan> ShardBackend<P> for ProcessBackend<P> {
+    fn run_shard(&self, plan: &P, shard: &ShardSpec) -> ShardArtifact {
         self.try_run_shard(plan, shard)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn try_run_shard(
-        &self,
-        plan: &CampaignPlan,
-        shard: &ShardSpec,
-    ) -> Result<ShardArtifact, ShardError> {
+    fn try_run_shard(&self, plan: &P, shard: &ShardSpec) -> Result<ShardArtifact, ShardError> {
         // Guard the seam: the plan handed in must be the one this
         // backend's manifest expands to, or workers (which re-expand the
         // manifest) would compute different cells than the merge expects.

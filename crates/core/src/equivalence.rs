@@ -45,7 +45,7 @@
 
 use greener_sched::PolicyKind;
 
-use crate::campaign::{run_campaign, CampaignPlan, ShardBackend};
+use crate::campaign::{run_campaign, CellRecord, Plan, ShardBackend};
 use crate::driver::{JobRecord, SimDriver, World};
 use crate::probe::Observe;
 use crate::scenario::Scenario;
@@ -168,59 +168,55 @@ pub fn assert_runners_equivalent(
     }
 }
 
-/// The campaign axis: pin sharded/merged campaign execution against
-/// straight per-cell runs, at every shard count in `shard_counts`.
+/// The campaign axis: pin sharded/merged execution of any
+/// [`Plan`] — scenario campaigns and fleet plans alike — against straight
+/// per-cell runs, at every shard count in `shard_counts`.
 ///
-/// For each shard count the plan is executed through `backend` and
-/// merged, then every cell is compared — through
-/// [`assert_runners_equivalent`], the same harness every other axis uses —
-/// against a fresh end-to-end [`fingerprint`] of the cell's scenario
-/// (fresh world, no sharding, no reuse). Cells are looked up in the merged
-/// report by id (the cell id doubles as the scenario name), and the
-/// merged aggregates must match the straight run's energy/carbon **bits**
-/// and completion count. Combined with the artifact layer's bit-exact
-/// float encoding this pins the merge-determinism standing invariant:
-/// shard count and thread count are unobservable in campaign output.
+/// Each cell's straight-run reference ([`Plan::reference_fingerprint`]:
+/// fresh world, no sharding, no reuse) is computed once. Then, for each
+/// shard count, the plan is executed through `backend` and merged, every
+/// cell is looked up in the merged report by id, and its record's
+/// [`CellRecord::fingerprint`] must match the reference — energy/carbon
+/// **bits** and completion count (artifact records carry no per-job
+/// records, so record comparison is one-sidedly skipped, as with the
+/// aggregates-only observation axis). Combined with the artifact layer's
+/// bit-exact float encoding this pins the merge-determinism standing
+/// invariant: shard count and thread count are unobservable in campaign
+/// output.
 ///
 /// `backend` is any [`ShardBackend`] — the in-process runner (with or
 /// without world reuse) and the process-per-shard
 /// [`crate::campaign::process::ProcessBackend`] (with its retries,
-/// fault injection and resume) ride the same axis, which is what makes
-/// "the supervised backend changes no byte" a pinned invariant rather
-/// than a bespoke comparison loop.
+/// fault injection and resume) ride the same axis, for campaign and
+/// fleet plans alike, which is what makes "the supervised backend
+/// changes no byte" a pinned invariant rather than a bespoke comparison
+/// loop.
 ///
 /// # Panics
-/// On the first cell whose merged result diverges from its straight run,
+/// On the first cell whose merged record diverges from its straight run,
 /// naming the shard count and cell id.
-pub fn assert_campaign_equivalent(
+pub fn assert_campaign_equivalent<P: Plan>(
     label: &str,
-    plan: &CampaignPlan,
-    backend: &impl ShardBackend,
+    plan: &P,
+    backend: &impl ShardBackend<P>,
     shard_counts: &[usize],
 ) {
-    let matrix: Vec<Scenario> = plan.cells.iter().map(|c| c.scenario.clone()).collect();
+    let references: Vec<Fingerprint> = (0..plan.len())
+        .map(|i| plan.reference_fingerprint(i))
+        .collect();
     for &shards in shard_counts {
         let report = run_campaign(plan, backend, shards)
             .unwrap_or_else(|e| panic!("{label} shards={shards}: {e}"));
-        assert_runners_equivalent(
-            &format!("{label} shards={shards}"),
-            &matrix,
-            fingerprint,
-            |s| {
-                let cell = report
-                    .get(&s.name)
-                    .unwrap_or_else(|| panic!("{label}: cell `{}` missing from report", s.name));
-                Fingerprint {
-                    energy_bits: cell.aggregates.energy_kwh.to_bits(),
-                    carbon_bits: cell.aggregates.carbon_kg.to_bits(),
-                    completed: cell.jobs.completed,
-                    // Aggregate artifacts carry no per-job records;
-                    // record comparison is skipped (one-sided), as with
-                    // the aggregates-only observation axis.
-                    records: None,
-                }
-            },
-        );
+        for (i, reference) in references.iter().enumerate() {
+            let id = plan.cell_id(i);
+            let cell = report
+                .get(id)
+                .unwrap_or_else(|| panic!("{label}: cell `{id}` missing from report"));
+            reference.assert_same(
+                &cell.fingerprint(),
+                &format!("{label} shards={shards} [{id}]"),
+            );
+        }
     }
 }
 

@@ -47,6 +47,28 @@
 //! [`crate::equivalence::assert_runners_equivalent`] (see
 //! [`fingerprint`]).
 //!
+//! # Feasibility and workload fidelity
+//!
+//! Paired comparisons must not silently mutate the workload, so the
+//! routing tier's capacity edge cases are explicit:
+//!
+//! * **Zero-capacity sites are invalid.** [`FleetScenario::validate`]
+//!   rejects any site whose cluster has zero GPUs — such a site can
+//!   never drain routed work, and its queue-pressure estimate (backlog
+//!   GPU-hours over machine size) has no finite value. Defense in depth:
+//!   the router's pressure helper saturates at `f64::INFINITY` rather
+//!   than emitting NaN, and zero-cap sites are excluded from every
+//!   feasible set a [`RoutePolicy`] is offered, so a NaN can never reach
+//!   a policy score or the byte-stable route log.
+//! * **Oversized gangs are clamped, and the clamp is counted.** When no
+//!   site fits a gang whole, the router offers every powered site and
+//!   clamps the gang to the pick's machine size. Each clamp is recorded:
+//!   [`FleetRunOutput::truncated_jobs`] counts them and the report's
+//!   totals line surfaces `truncated_jobs=N`, so a run whose replayed
+//!   workload diverged from the shared trace is visibly different — a
+//!   fleet comparison is only paired when the count is zero on both
+//!   sides.
+//!
 //! # Per-site worlds
 //!
 //! [`FleetWorld::build`] generates the shared trace from the **base**
@@ -97,18 +119,72 @@
 //! // Seeds are innermost, like every campaign expansion.
 //! assert_eq!(plan.cells[1].id, "demo/routing=static/seed=8");
 //! ```
+//!
+//! # Fleet sweeps through the campaign stack
+//!
+//! [`FleetPlan`] implements the campaign layer's
+//! [`Plan`] seam, so fleet sweeps run through the
+//! **same** executors as campaigns — [`crate::campaign::run_campaign`]
+//! in-process, or the supervised
+//! [`crate::campaign::process::ProcessBackend`] (built with
+//! [`new_fleet`](crate::campaign::process::ProcessBackend::new_fleet);
+//! `perfjson fleet-campaign` is the CLI driver) with per-shard timeouts,
+//! seeded-backoff retries, `GREENER_FAULT` injection and artifact-based
+//! resume. Each cell serializes as one [`FleetCellResult`] `fleet-cell`
+//! line inside the standard versioned, checksummed, plan-fingerprinted
+//! v1 [`crate::campaign::ShardArtifact`]; the cell's full
+//! [`FleetRunOutput::to_text`] report is pinned bit-for-bit by an FNV-1a
+//! digest carried on the line. A supervised fleet sweep's artifact
+//! directory is the campaign layout with the fleet manifest name:
+//!
+//! ```text
+//! <dir>/manifest.fleet        # fleet manifest text workers re-expand
+//! <dir>/shard-<i>-of-<k>.art  # one validated ShardArtifact per shard
+//! <dir>/shard-<i>-of-<k>.ok   # completion marker
+//! ```
+//!
+//! Merge determinism carries over verbatim — for a fixed fleet manifest
+//! the merged report is byte-identical at every shard count, thread
+//! count, and across resume boundaries:
+//!
+//! ```
+//! use greener_core::campaign::{run_campaign, InProcessBackend};
+//! use greener_core::fleet::FleetManifest;
+//!
+//! let plan = FleetManifest::parse(
+//!     "name = demo\n\
+//!      base = quick:2@7\n\
+//!      sites = 2\n\
+//!      axis routing = static, greedy-carbon\n",
+//! )
+//! .unwrap()
+//! .expand()
+//! .unwrap();
+//! let backend = InProcessBackend::default();
+//! let merged = run_campaign(&plan, &backend, 2).unwrap();
+//! assert_eq!(
+//!     merged.to_text(),
+//!     run_campaign(&plan, &backend, 1).unwrap().to_text(),
+//! );
+//! // Fleet rollups ride the merged report: routing stays visible.
+//! assert_eq!(merged.get("demo/routing=static/seed=7").unwrap().routed_jobs,
+//!            merged.get("demo/routing=greedy-carbon/seed=7").unwrap().routed_jobs);
+//! ```
 
 use greener_climate::WeatherPath;
 use greener_grid::mix::GridPath;
+use std::collections::HashMap;
+
 use greener_simkit::par;
-use greener_simkit::rng::RngHub;
+use greener_simkit::rng::{fnv1a, RngHub};
 use greener_simkit::sweep::gridn_indices;
 use greener_simkit::time::SimTime;
 use greener_simkit::units::Energy;
 use greener_workload::{Job, JobId};
 
-use crate::campaign::exec::fbits;
+use crate::campaign::exec::{fbits, parse_fbits, parse_usize};
 use crate::campaign::manifest::{parse_base, parse_seeds, ManifestError};
+use crate::campaign::{CampaignError, CellRecord, Plan};
 use crate::driver::{JobStats, SimDriver, World};
 use crate::equivalence::Fingerprint;
 use crate::probe::{Observe, RunAggregates, RunOutput};
@@ -253,6 +329,23 @@ impl FleetScenario {
         self
     }
 
+    /// A key over every input that determines the generated
+    /// [`FleetWorld`]: the base scenario's
+    /// [`Scenario::world_inputs_key`] (the shared trace) concatenated
+    /// with every site's (the per-site environments), in site order.
+    /// Routing never reaches world generation, so the key is
+    /// routing-invariant — which is exactly what lets the campaign
+    /// layer's world-reuse cache share one [`FleetWorld`] across the
+    /// paired routing cells of a [`FleetPlan`] shard.
+    pub fn world_inputs_key(&self) -> String {
+        let mut key = self.base.world_inputs_key();
+        for site in &self.sites {
+            key.push('\u{1e}');
+            key.push_str(&site.scenario.world_inputs_key());
+        }
+        key
+    }
+
     /// Validate the fleet's structural invariants: at least one site,
     /// whitespace-free unique names, and every site sharing the base's
     /// start date and horizon (sites replay the same simulated window the
@@ -288,6 +381,13 @@ impl FleetScenario {
                 return Err(format!(
                     "site `{}` spans {} h, fleet base spans {} h",
                     site.name, site.scenario.horizon_hours, self.base.horizon_hours
+                ));
+            }
+            if site.scenario.cluster.total_gpus() == 0 {
+                return Err(format!(
+                    "site `{}` has a zero-GPU cluster (a zero-capacity site can never \
+                     drain routed work, so every site needs at least one GPU)",
+                    site.name
                 ));
             }
         }
@@ -473,6 +573,21 @@ impl RoutePolicy for CostBasedRoute {
     }
 }
 
+/// Router-side queue-pressure estimate for one site: backlog GPU-hours
+/// over machine size, in machine-hours. A zero-GPU site can never drain
+/// work, so its pressure saturates at `f64::INFINITY` — never the NaN
+/// that `x / 0` would otherwise smuggle into cost-based scores and the
+/// byte-stable route log. [`FleetScenario::validate`] rejects zero-cap
+/// sites outright and the routing pass never offers one to a policy, so
+/// the saturated value is defense in depth, not a reachable signal.
+fn site_pressure(backlog_gpu_hours: f64, gpu_cap: u32) -> f64 {
+    if gpu_cap == 0 {
+        f64::INFINITY
+    } else {
+        backlog_gpu_hours / gpu_cap as f64
+    }
+}
+
 /// First index in `feasible` minimizing `score` (strict-less scan, so
 /// ties break toward the lower site index — deterministic).
 fn argmin_by(feasible: &[usize], score: impl Fn(usize) -> f64) -> usize {
@@ -599,6 +714,15 @@ pub struct FleetRunOutput {
     pub sites: Vec<RunOutput>,
     /// The routing decision records, in submit order.
     pub routes: Vec<RouteRecord>,
+    /// How many routed jobs had their gang clamped to the chosen site's
+    /// machine size (`RouteRecord::gpus` < the trace's gang). A non-zero
+    /// count means the replayed workload no longer matches the shared
+    /// trace — paired comparisons must not silently mutate the workload,
+    /// so the count is surfaced on the report's totals line instead of
+    /// being absorbed. Zero for every fleet whose sites all fit the
+    /// base-capped trace (any `spread` fleet with site clusters ≥ the
+    /// base cluster).
+    pub truncated_jobs: usize,
     /// Fleet-level aggregate rollup: additive totals summed in site
     /// order, `hours`/`peak_power_kw` as maxima (site peaks need not
     /// align in time, so the fleet peak is the largest single-site peak).
@@ -641,11 +765,12 @@ impl FleetRunOutput {
             out.push('\n');
         }
         out.push_str(&format!(
-            "total completed={} energy_kwh={} carbon_kg={} cost_usd={}\n",
+            "total completed={} energy_kwh={} carbon_kg={} cost_usd={} truncated_jobs={}\n",
             self.jobs.completed,
             fbits(self.totals.energy_kwh),
             fbits(self.totals.carbon_kg),
             fbits(self.totals.cost_usd),
+            self.truncated_jobs,
         ));
         out
     }
@@ -668,9 +793,11 @@ impl FleetDriver {
     /// determinism property tests pin this).
     ///
     /// Feasibility: sites whose machine fits the gang whole. If no site
-    /// does, every site is offered and the gang is clamped to the chosen
-    /// site's machine (mirroring the single-site world builder's gang
-    /// cap).
+    /// does, every *powered* (non-zero-cap) site is offered and the gang
+    /// is clamped to the chosen site's machine (mirroring the single-site
+    /// world builder's gang cap) — each such clamp is counted in
+    /// [`FleetRunOutput::truncated_jobs`], because a clamped gang means
+    /// the replayed workload no longer matches the shared trace.
     pub fn route(fleet: &FleetScenario, world: &FleetWorld) -> Vec<RouteRecord> {
         fleet.assert_valid();
         assert_eq!(
@@ -704,14 +831,19 @@ impl FleetDriver {
                 signals.push(SiteSignals {
                     site: i,
                     gpu_cap: caps[i],
-                    queue_pressure_hours: backlog[i] / caps[i] as f64,
+                    queue_pressure_hours: site_pressure(backlog[i], caps[i]),
                     forecast_ci_kg_mwh: sw.grid.window_mean_ci(h, ROUTE_FORECAST_HOURS),
                     forecast_price_usd_mwh: sw.grid.window_mean_price(h, ROUTE_FORECAST_HOURS),
                 });
             }
             let mut feasible: Vec<usize> = (0..n).filter(|&i| caps[i] >= job.gpus).collect();
             if feasible.is_empty() {
-                feasible = (0..n).collect();
+                // No site fits the gang whole: offer every *powered* site
+                // and clamp the gang to the pick (recorded — see
+                // `FleetRunOutput::truncated_jobs`). Zero-cap sites stay
+                // excluded even here, so `site_pressure`'s saturated
+                // (infinite) estimate never reaches a policy's score.
+                feasible = (0..n).filter(|&i| caps[i] > 0).collect();
             }
             let site = policy.route(job, &signals, &feasible);
             assert!(
@@ -749,6 +881,10 @@ impl FleetDriver {
         observe: Observe,
     ) -> FleetRunOutput {
         let routes = Self::route(fleet, world);
+        let truncated_jobs = routes
+            .iter()
+            .filter(|r| r.gpus < world.trace[r.index].gpus)
+            .count();
         let n = fleet.sites.len();
         let mut subtraces: Vec<Vec<Job>> = vec![Vec::new(); n];
         for r in &routes {
@@ -777,6 +913,7 @@ impl FleetDriver {
             routing: fleet.routing,
             sites,
             routes,
+            truncated_jobs,
             totals,
             jobs,
         }
@@ -888,6 +1025,226 @@ pub struct FleetPlan {
     pub name: String,
     /// The cells; `cells[i].index == i`.
     pub cells: Vec<FleetCell>,
+}
+
+/// One fleet cell's results as carried by shard artifacts and merged
+/// fleet-campaign reports: the fleet-level rollups
+/// ([`FleetRunOutput::totals`] / [`FleetRunOutput::jobs`]), the routing
+/// workload counters, and an FNV-1a digest of the cell's full byte-stable
+/// [`FleetRunOutput::to_text`] report. The full report (per-site lines
+/// and the routing record stream) is too large to ship one-per-line
+/// through artifacts, but its digest pins it bit-for-bit: two merged
+/// fleet-campaign reports agree iff every cell's full report agreed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCellResult {
+    /// The cell's plan index (merge position).
+    pub index: usize,
+    /// The cell's stable id.
+    pub id: String,
+    /// The routing policy the cell ran.
+    pub routing: RoutingPolicyKind,
+    /// How many jobs the router assigned (the shared trace's length).
+    pub routed_jobs: usize,
+    /// How many routed jobs had their gang clamped
+    /// ([`FleetRunOutput::truncated_jobs`] — non-zero means the replayed
+    /// workload diverged from the shared trace).
+    pub truncated_jobs: usize,
+    /// FNV-1a digest of the cell's full [`FleetRunOutput::to_text`]
+    /// report.
+    pub report_digest: u64,
+    /// Fleet-level aggregate rollup.
+    pub totals: RunAggregates,
+    /// Fleet-level job-statistic rollup.
+    pub jobs: JobStats,
+}
+
+impl FleetCellResult {
+    /// Condense one fleet run into the artifact record for plan position
+    /// `index`.
+    pub fn from_output(
+        index: usize,
+        id: impl Into<String>,
+        out: &FleetRunOutput,
+    ) -> FleetCellResult {
+        FleetCellResult {
+            index,
+            id: id.into(),
+            routing: out.routing,
+            routed_jobs: out.routes.len(),
+            truncated_jobs: out.truncated_jobs,
+            report_digest: fnv1a(out.to_text().as_bytes()),
+            totals: out.totals,
+            jobs: out.jobs.clone(),
+        }
+    }
+
+    /// Serialize to one artifact line: 28 whitespace-separated tokens,
+    /// floats as `to_bits` hex (the campaign artifact idiom), so a parse
+    /// round-trip is bit-exact.
+    pub fn to_line(&self) -> String {
+        let a = &self.totals;
+        let j = &self.jobs;
+        format!(
+            "fleet-cell {} {} {} {} {} {:016x} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            self.index,
+            self.id,
+            self.routing.label(),
+            self.routed_jobs,
+            self.truncated_jobs,
+            self.report_digest,
+            a.hours,
+            fbits(a.energy_kwh),
+            fbits(a.carbon_kg),
+            fbits(a.cost_usd),
+            fbits(a.water_l),
+            fbits(a.it_energy_kwh),
+            fbits(a.peak_power_kw),
+            a.cooling_saturated_hours,
+            fbits(a.purchased.0),
+            fbits(a.green_weighted_kwh),
+            fbits(a.pue_sum),
+            a.pue_hours,
+            j.submitted,
+            j.completed,
+            j.unfinished,
+            fbits(j.mean_wait_hours),
+            fbits(j.p95_wait_hours),
+            fbits(j.mean_slowdown),
+            j.slo_violations,
+            fbits(j.slo_violation_fraction),
+            fbits(j.gpu_hours_completed),
+        )
+    }
+
+    /// Parse one artifact line (inverse of [`FleetCellResult::to_line`]).
+    pub fn parse_line(line: &str) -> Result<FleetCellResult, CampaignError> {
+        let t: Vec<&str> = line.split_whitespace().collect();
+        if t.len() != 28 || t[0] != "fleet-cell" {
+            return Err(CampaignError {
+                msg: format!(
+                    "malformed fleet-cell line (expected 28 tokens starting `fleet-cell`, \
+                     got {}): `{line}`",
+                    t.len()
+                ),
+            });
+        }
+        let routing = RoutingPolicyKind::by_label(t[3]).ok_or_else(|| CampaignError {
+            msg: format!("unknown routing label `{}` in fleet-cell line", t[3]),
+        })?;
+        let report_digest = u64::from_str_radix(t[6], 16).map_err(|_| CampaignError {
+            msg: format!("bad report digest token `{}`", t[6]),
+        })?;
+        Ok(FleetCellResult {
+            index: parse_usize(t[1])?,
+            id: t[2].to_string(),
+            routing,
+            routed_jobs: parse_usize(t[4])?,
+            truncated_jobs: parse_usize(t[5])?,
+            report_digest,
+            totals: RunAggregates {
+                hours: parse_usize(t[7])?,
+                energy_kwh: parse_fbits(t[8])?,
+                carbon_kg: parse_fbits(t[9])?,
+                cost_usd: parse_fbits(t[10])?,
+                water_l: parse_fbits(t[11])?,
+                it_energy_kwh: parse_fbits(t[12])?,
+                peak_power_kw: parse_fbits(t[13])?,
+                cooling_saturated_hours: parse_usize(t[14])?,
+                purchased: Energy(parse_fbits(t[15])?),
+                green_weighted_kwh: parse_fbits(t[16])?,
+                pue_sum: parse_fbits(t[17])?,
+                pue_hours: parse_usize(t[18])?,
+            },
+            jobs: JobStats {
+                submitted: parse_usize(t[19])?,
+                completed: parse_usize(t[20])?,
+                unfinished: parse_usize(t[21])?,
+                mean_wait_hours: parse_fbits(t[22])?,
+                p95_wait_hours: parse_fbits(t[23])?,
+                mean_slowdown: parse_fbits(t[24])?,
+                slo_violations: parse_usize(t[25])?,
+                slo_violation_fraction: parse_fbits(t[26])?,
+                gpu_hours_completed: parse_fbits(t[27])?,
+            },
+        })
+    }
+}
+
+impl CellRecord for FleetCellResult {
+    fn index(&self) -> usize {
+        self.index
+    }
+
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn to_line(&self) -> String {
+        FleetCellResult::to_line(self)
+    }
+
+    fn parse_line(line: &str) -> Result<FleetCellResult, CampaignError> {
+        FleetCellResult::parse_line(line)
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint {
+            energy_bits: self.totals.energy_kwh.to_bits(),
+            carbon_bits: self.totals.carbon_kg.to_bits(),
+            completed: self.jobs.completed,
+            records: None,
+        }
+    }
+}
+
+impl Plan for FleetPlan {
+    type Record = FleetCellResult;
+
+    const MANIFEST_FILE: &'static str = "manifest.fleet";
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn cell_id(&self, index: usize) -> &str {
+        &self.cells[index].id
+    }
+
+    fn cell_config(&self, index: usize) -> String {
+        format!("{:?}", self.cells[index].fleet)
+    }
+
+    fn run_cells(&self, start: usize, end: usize, world_reuse: bool) -> Vec<FleetCellResult> {
+        let cells = &self.cells[start..end];
+        // World-reuse keys on [`FleetScenario::world_inputs_key`], which
+        // is routing-invariant: a routing axis over one base fleet builds
+        // each seed's FleetWorld once per shard and replays every routing
+        // cell over it — the fleet analogue of the campaign layer's
+        // policy-axis reuse.
+        let mut worlds: HashMap<String, FleetWorld> = HashMap::new();
+        let mut results = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let out = if world_reuse {
+                let world = worlds
+                    .entry(cell.fleet.world_inputs_key())
+                    .or_insert_with(|| FleetWorld::build(&cell.fleet));
+                FleetDriver::run_observed(&cell.fleet, world, Observe::aggregates())
+            } else {
+                let world = FleetWorld::build(&cell.fleet);
+                FleetDriver::run_observed(&cell.fleet, &world, Observe::aggregates())
+            };
+            results.push(FleetCellResult::from_output(cell.index, &cell.id, &out));
+        }
+        results
+    }
+
+    fn reference_fingerprint(&self, index: usize) -> Fingerprint {
+        fingerprint(&self.cells[index].fleet)
+    }
 }
 
 /// A parsed (or programmatically built) fleet manifest. See the module
@@ -1296,6 +1653,60 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_zero_gpu_sites() {
+        let mut f = FleetScenario::spread(Scenario::quick(3, 7), 2);
+        f.sites[1].scenario.cluster.nodes = 0;
+        let e = f.validate().unwrap_err();
+        assert!(e.contains("site-1"), "{e}");
+        assert!(e.contains("zero-GPU"), "{e}");
+    }
+
+    #[test]
+    fn site_pressure_saturates_instead_of_nan_on_zero_cap() {
+        // The satellite bug: `backlog / cap as f64` with cap == 0 yields
+        // NaN (0/0) or ±inf with a sign picked by the backlog — either
+        // way a poisoned, non-comparable signal. The guard saturates.
+        assert_eq!(site_pressure(0.0, 0), f64::INFINITY);
+        assert_eq!(site_pressure(12.5, 0), f64::INFINITY);
+        assert!(!site_pressure(0.0, 0).is_nan());
+        // Powered sites keep the exact division.
+        assert_eq!(site_pressure(12.0, 4), 3.0);
+        assert_eq!(site_pressure(0.0, 8), 0.0);
+    }
+
+    #[test]
+    fn oversized_gangs_are_clamped_and_counted() {
+        // Shrink every site's machine below the base cluster that capped
+        // the shared trace: some gangs can no longer fit anywhere, so the
+        // router must clamp them — visibly.
+        let mut fleet = quick_fleet(5, 11, 2).with_routing(RoutingPolicyKind::RoundRobin);
+        for site in &mut fleet.sites {
+            site.scenario.cluster.nodes = 1;
+        }
+        fleet.validate().unwrap();
+        let world = FleetWorld::build(&fleet);
+        let cap = fleet.sites[0].scenario.cluster.total_gpus();
+        let oversized = world.trace.iter().filter(|j| j.gpus > cap).count();
+        assert!(oversized > 0, "trace must contain gangs over the site cap");
+        let out = FleetDriver::run_observed(&fleet, &world, Observe::aggregates());
+        assert_eq!(out.truncated_jobs, oversized);
+        for r in &out.routes {
+            assert!(r.gpus <= cap, "clamped gang exceeds the machine");
+        }
+        assert!(
+            out.to_text()
+                .contains(&format!(" truncated_jobs={oversized}\n")),
+            "the totals line must surface the truncation count"
+        );
+        // A fleet whose sites all fit the trace reports zero.
+        let clean = quick_fleet(5, 11, 2);
+        assert_eq!(FleetDriver::run(&clean).truncated_jobs, 0);
+        assert!(FleetDriver::run(&clean)
+            .to_text()
+            .contains(" truncated_jobs=0\n"));
+    }
+
+    #[test]
     fn routing_labels_round_trip() {
         for k in RoutingPolicyKind::COMPARISON_SET {
             assert_eq!(RoutingPolicyKind::by_label(k.label()), Some(k));
@@ -1357,8 +1768,97 @@ mod tests {
         c.fleet.validate().unwrap();
     }
 
+    /// A tiny 2-routing × 2-seed fleet plan shared by the record and
+    /// artifact tests below.
+    fn tiny_fleet_plan() -> FleetPlan {
+        FleetManifest::parse(
+            "name = tiny\n\
+             base = quick:2@13\n\
+             sites = 2\n\
+             axis routing = static, greedy-carbon\n\
+             seeds = 13..15\n",
+        )
+        .unwrap()
+        .expand()
+        .unwrap()
+    }
+
+    #[test]
+    fn fleet_cell_line_round_trips_bit_exactly() {
+        let plan = tiny_fleet_plan();
+        let cells = plan.run_cells(0, plan.cells.len(), true);
+        assert_eq!(cells.len(), 4);
+        for c in &cells {
+            let parsed = FleetCellResult::parse_line(&c.to_line()).unwrap();
+            assert_eq!(&parsed, c);
+        }
+        // Adversarial float payloads survive too: the `to_bits` hex
+        // encoding must round-trip NaN, signed zero and infinities —
+        // values a `{}`/`parse` pair would garble or collapse.
+        let mut c = cells[0].clone();
+        c.totals.carbon_kg = f64::NAN;
+        c.totals.energy_kwh = -0.0;
+        c.jobs.mean_wait_hours = f64::NEG_INFINITY;
+        let parsed = FleetCellResult::parse_line(&c.to_line()).unwrap();
+        assert_eq!(
+            parsed.totals.carbon_kg.to_bits(),
+            c.totals.carbon_kg.to_bits()
+        );
+        assert_eq!(
+            parsed.totals.energy_kwh.to_bits(),
+            c.totals.energy_kwh.to_bits()
+        );
+        assert_eq!(
+            parsed.jobs.mean_wait_hours.to_bits(),
+            c.jobs.mean_wait_hours.to_bits()
+        );
+    }
+
+    #[test]
+    fn fleet_cell_parse_rejects_malformed_lines() {
+        let plan = tiny_fleet_plan();
+        let line = plan.run_cells(0, 1, true)[0].to_line();
+        // Wrong token count and wrong leading token.
+        let e = FleetCellResult::parse_line("fleet-cell 0 tiny").unwrap_err();
+        assert!(e.msg.contains("28 tokens"), "{}", e.msg);
+        assert!(FleetCellResult::parse_line(&line.replacen("fleet-cell", "cell", 1)).is_err());
+        // Unknown routing label (token 3).
+        let mut t: Vec<String> = line.split_whitespace().map(String::from).collect();
+        t[3] = "warp".into();
+        let e = FleetCellResult::parse_line(&t.join(" ")).unwrap_err();
+        assert!(e.msg.contains("unknown routing label"), "{}", e.msg);
+        // Non-hex report digest (token 6).
+        let mut t: Vec<String> = line.split_whitespace().map(String::from).collect();
+        t[6] = "not-hex-at-all!".into();
+        let e = FleetCellResult::parse_line(&t.join(" ")).unwrap_err();
+        assert!(e.msg.contains("bad report digest"), "{}", e.msg);
+    }
+
+    #[test]
+    fn fleet_run_cells_reuse_matches_rebuild_bit_for_bit() {
+        // The reuse invariant every plan kind must pin (see
+        // [`Plan::run_cells`]): the FleetWorld cache keyed by the
+        // routing-invariant `world_inputs_key` must not change a single
+        // byte of any record.
+        let plan = tiny_fleet_plan();
+        let reused = plan.run_cells(0, plan.cells.len(), true);
+        let rebuilt = plan.run_cells(0, plan.cells.len(), false);
+        assert_eq!(reused, rebuilt);
+        // Paired routing cells share a world: 2 seeds → 2 distinct keys.
+        let keys: std::collections::HashSet<String> = plan
+            .cells
+            .iter()
+            .map(|c| c.fleet.world_inputs_key())
+            .collect();
+        assert_eq!(keys.len(), 2);
+    }
+
     mod props {
         use super::*;
+        use crate::campaign::{
+            merge_artifacts, partition, plan_fingerprint, run_campaign, InProcessBackend,
+            ShardArtifact, ShardBackend,
+        };
         use proptest::prelude::*;
 
         proptest! {
@@ -1412,6 +1912,119 @@ mod tests {
                 }
                 for s in &streams[1..] {
                     prop_assert_eq!(s, &streams[0]);
+                }
+            }
+
+            /// Fleet sweeps through the campaign stack: for random small
+            /// fleet manifests the merged fleet-campaign report is
+            /// byte-identical across shard counts {1, 2, 7, cells},
+            /// `RAYON_NUM_THREADS` {1, 4}, and FleetWorld reuse on/off —
+            /// the same merge-determinism invariant the campaign plan
+            /// kind pins, now over [`FleetPlan`] records.
+            #[test]
+            fn fleet_campaign_merge_is_shard_thread_and_reuse_invariant(
+                days in 2usize..4,
+                seed in 0u64..500,
+                sites in 1usize..3,
+                routing_mask in 1usize..8,
+                two_seeds in 0u8..2,
+            ) {
+                let all = [
+                    RoutingPolicyKind::Static,
+                    RoutingPolicyKind::GreedyCarbon,
+                    RoutingPolicyKind::CostBased,
+                ];
+                let routings: Vec<RoutingPolicyKind> = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| routing_mask & (1 << i) != 0)
+                    .map(|(_, &k)| k)
+                    .collect();
+                let plan = FleetManifest::new(
+                    "prop",
+                    FleetScenario::spread(Scenario::quick(days, seed), sites),
+                )
+                .with_routings(routings)
+                .with_seeds(if two_seeds == 1 {
+                    vec![seed, seed + 1]
+                } else {
+                    vec![seed]
+                })
+                .expand()
+                .unwrap();
+                let reference = run_campaign(
+                    &plan,
+                    &InProcessBackend { world_reuse: true },
+                    1,
+                )
+                .unwrap()
+                .to_text();
+                let prior = std::env::var("RAYON_NUM_THREADS").ok();
+                for threads in ["1", "4"] {
+                    std::env::set_var("RAYON_NUM_THREADS", threads);
+                    for world_reuse in [true, false] {
+                        let backend = InProcessBackend { world_reuse };
+                        for k in [1, 2, 7, plan.cells.len()] {
+                            let merged = run_campaign(&plan, &backend, k).unwrap().to_text();
+                            prop_assert!(
+                                merged == reference,
+                                "diverged at shards={k} threads={threads} reuse={world_reuse}"
+                            );
+                        }
+                    }
+                }
+                match prior {
+                    Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+                    None => std::env::remove_var("RAYON_NUM_THREADS"),
+                }
+            }
+        }
+
+        /// One valid fleet artifact, built once and shared across all
+        /// proptest cases (cheap mutations of expensive-to-produce text —
+        /// the same shape as the campaign-side corruption property).
+        fn golden_fleet() -> &'static (FleetPlan, u64, ShardArtifact) {
+            static GOLDEN: std::sync::OnceLock<(FleetPlan, u64, ShardArtifact)> =
+                std::sync::OnceLock::new();
+            GOLDEN.get_or_init(|| {
+                let plan = super::tiny_fleet_plan();
+                let fp = plan_fingerprint(&plan);
+                let artifact = InProcessBackend::default()
+                    .run_shard(&plan, &partition(plan.cells.len(), 1)[0]);
+                (plan, fp, artifact)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(
+                crate::equivalence::proptest_cases(16)
+            ))]
+            /// Random damage to a valid **fleet** artifact is always
+            /// detected: truncation at any byte offset, and a single-bit
+            /// flip of any byte, must fail validation and be refused by
+            /// the merge — the v1 checksum trailer covers `fleet-cell`
+            /// lines exactly as it covers campaign `cell` lines.
+            #[test]
+            fn fleet_artifact_corruption_is_always_detected(
+                cut in 0usize..1_000_000,
+                flip_pos in 0usize..1_000_000,
+                flip_bit in 0u8..8,
+            ) {
+                let (plan, fp, artifact) = golden_fleet();
+                let n = artifact.text.len();
+
+                let truncated = ShardArtifact {
+                    text: artifact.text[..cut % n].to_string(),
+                };
+                prop_assert!(truncated.validate(plan, *fp, None).is_err());
+                prop_assert!(merge_artifacts(plan, &[truncated]).is_err());
+
+                let mut bytes = artifact.text.clone().into_bytes();
+                bytes[flip_pos % n] ^= 1 << flip_bit;
+                if let Ok(text) = String::from_utf8(bytes) {
+                    let flipped = ShardArtifact { text };
+                    prop_assert!(flipped.validate(plan, *fp, None).is_err());
+                    prop_assert!(merge_artifacts(plan, &[flipped]).is_err());
                 }
             }
         }
